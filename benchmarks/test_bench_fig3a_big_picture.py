@@ -1,0 +1,35 @@
+"""E2 -- Figure 3a: error-vs-time big picture on the NBA data (m=5, k=6).
+
+Paper's finding: the cheap learners (ordinal regression, linear regression,
+AdaRank) are fast but far from the minimal error; RankHow reaches the lowest
+error; SYM-GD gets (nearly) there in a fraction of the time; AdaRank is the
+worst method on NBA-like data.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.bench.experiments import experiment_fig3a_big_picture
+from repro.bench.reporting import ascii_table
+
+
+def test_fig3a_big_picture(benchmark):
+    scale = bench_scale()
+    records = benchmark.pedantic(
+        lambda: experiment_fig3a_big_picture(scale=scale, num_attributes=5, k=6),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E2 / Figure 3a: NBA big picture"))
+
+    by_method = {record.method: record for record in records}
+    rankhow_error = by_method["rankhow"].error
+    # Shape 1: RankHow has the (joint) lowest error of all methods.
+    assert rankhow_error <= min(record.error for record in records)
+    # Shape 2: AdaRank is the weakest of the learners on NBA-like data.
+    assert by_method["adarank"].error >= rankhow_error
+    # Shape 3: the cheap learners are much faster than the exact solver.
+    assert by_method["ordinal_regression"].time_seconds <= by_method["rankhow"].time_seconds
+    assert by_method["linear_regression"].time_seconds <= by_method["rankhow"].time_seconds

@@ -1,0 +1,52 @@
+"""E3 -- Figures 3b / 3e: error per tuple as the ranking length k grows.
+
+Paper's findings: error grows with k for every method (longer rankings are
+harder for a linear function); RankHow dominates the competitors at every k.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.bench.experiments import experiment_fig3_vary_k
+from repro.bench.reporting import ascii_table, series_by
+
+
+def _assert_shapes(records):
+    series = series_by(records, "k")
+    rankhow = dict(series["rankhow"])
+    for method, points in series.items():
+        for k, error in points:
+            assert rankhow[k] <= error + 1e-9, (
+                f"RankHow beaten by {method} at k={k}"
+            )
+    # Error trends upward with k for the exact solver (first vs last point).
+    first_k, first_error = series["rankhow"][0]
+    last_k, last_error = series["rankhow"][-1]
+    assert last_error >= first_error - 1e-9
+
+
+def test_fig3b_nba_vary_k(benchmark):
+    scale = bench_scale()
+    records = benchmark.pedantic(
+        lambda: experiment_fig3_vary_k(dataset="nba", k_values=(2, 3, 4, 5), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E3 / Figure 3b: NBA, varying k"))
+    _assert_shapes(records)
+
+
+def test_fig3e_csrankings_vary_k(benchmark):
+    scale = bench_scale()
+    records = benchmark.pedantic(
+        lambda: experiment_fig3_vary_k(
+            dataset="csrankings", k_values=(4, 8, 12), scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E3 / Figure 3e: CSRankings, varying k"))
+    _assert_shapes(records)

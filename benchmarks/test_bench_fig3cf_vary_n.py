@@ -1,0 +1,55 @@
+"""E4 -- Figures 3c / 3f: error per tuple as the relation size n grows.
+
+Paper's findings: RankHow's error stays (roughly) flat in n, because extra
+lower-ranked tuples only need to stay below the top-k; linear regression
+degrades faster because every added tuple influences its least-squares fit.
+RankHow dominates at every n.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.bench.experiments import experiment_fig3_vary_n
+from repro.bench.reporting import ascii_table, series_by
+
+
+def _assert_rankhow_dominates(records):
+    series = series_by(records, "n")
+    rankhow = dict(series["rankhow"])
+    for method, points in series.items():
+        for n, error in points:
+            assert rankhow[n] <= error + 1e-9, f"RankHow beaten by {method} at n={n}"
+
+
+def test_fig3c_nba_vary_n(benchmark):
+    scale = bench_scale()
+    n_values = (scale.nba_tuples // 2, scale.nba_tuples)
+    records = benchmark.pedantic(
+        lambda: experiment_fig3_vary_n(dataset="nba", n_values=n_values, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E4 / Figure 3c: NBA, varying n"))
+    _assert_rankhow_dominates(records)
+    # Flatness: RankHow's per-tuple error changes by at most 2 positions
+    # between the smallest and largest n (the paper reports a flat curve).
+    series = series_by(records, "n")
+    errors = [error for _, error in series["rankhow"]]
+    assert max(errors) - min(errors) <= 2.0 + 1e-9
+
+
+def test_fig3f_csrankings_vary_n(benchmark):
+    scale = bench_scale()
+    n_values = (scale.csrankings_tuples // 2, scale.csrankings_tuples)
+    records = benchmark.pedantic(
+        lambda: experiment_fig3_vary_n(
+            dataset="csrankings", n_values=n_values, scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E4 / Figure 3f: CSRankings, varying n"))
+    _assert_rankhow_dominates(records)

@@ -1,0 +1,51 @@
+"""E5 -- Figures 3d / 3g: error per tuple as the number of attributes m grows.
+
+Paper's findings: more attributes give the synthesizer more freedom, so
+RankHow's error is non-increasing in m (an exact-solver guarantee); the
+competitors have no such guarantee; RankHow dominates at every m.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.bench.experiments import experiment_fig3_vary_m
+from repro.bench.reporting import ascii_table, series_by
+
+
+def _assert_shapes(records, monotone_slack=1.0):
+    series = series_by(records, "m")
+    rankhow = dict(series["rankhow"])
+    for method, points in series.items():
+        for m, error in points:
+            assert rankhow[m] <= error + 1e-9, f"RankHow beaten by {method} at m={m}"
+    # Non-increasing trend (small slack because the exact solver may hit its
+    # node budget on the larger instances).
+    errors = [error for _, error in series["rankhow"]]
+    assert errors[-1] <= errors[0] + monotone_slack
+
+
+def test_fig3d_nba_vary_m(benchmark):
+    scale = bench_scale()
+    records = benchmark.pedantic(
+        lambda: experiment_fig3_vary_m(dataset="nba", m_values=(4, 6, 8), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E5 / Figure 3d: NBA, varying m"))
+    _assert_shapes(records)
+
+
+def test_fig3g_csrankings_vary_m(benchmark):
+    scale = bench_scale()
+    records = benchmark.pedantic(
+        lambda: experiment_fig3_vary_m(
+            dataset="csrankings", m_values=(5, 10, 15), scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E5 / Figure 3g: CSRankings, varying m"))
+    _assert_shapes(records)

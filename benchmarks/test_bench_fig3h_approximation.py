@@ -1,0 +1,45 @@
+"""E7 -- Figure 3h: SYM-GD approximation quality vs global RankHow.
+
+Paper's finding: most (time-ratio, extra-error) points sit near the lower-left
+corner -- SYM-GD reaches optimal or near-optimal error in a fraction of the
+global solver's time.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.bench.experiments import experiment_fig3h_approximation
+from repro.bench.reporting import ascii_table
+
+
+def test_fig3h_symgd_vs_global(benchmark):
+    scale = bench_scale()
+    records = benchmark.pedantic(
+        lambda: experiment_fig3h_approximation(
+            scale=scale, k_values=(3, 4), m_values=(5, 6), n_values=(scale.nba_tuples,)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        ascii_table(
+            records,
+            columns=[
+                "experiment",
+                "method",
+                "param_varied",
+                "param_k",
+                "param_m",
+                "param_n",
+                "extra_time_ratio",
+                "extra_extra_error_per_tuple",
+            ],
+            title="E7 / Figure 3h: SYM-GD vs global RankHow",
+        )
+    )
+    extra_errors = [record.extra["extra_error_per_tuple"] for record in records]
+    # Shape: on average SYM-GD is within one position per tuple of the global
+    # optimum (the paper's points cluster near zero extra error).
+    assert sum(extra_errors) / len(extra_errors) <= 1.0

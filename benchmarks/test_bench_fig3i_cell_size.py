@@ -1,0 +1,32 @@
+"""E8 -- Figure 3i: the cell-size / quality trade-off of SYM-GD.
+
+Paper's finding: growing the cell size lowers the error (larger neighbourhoods
+escape poor local optima) while execution time stays moderate until the cells
+become large; cell size is the knob trading running time for result quality.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.bench.experiments import experiment_fig3i_cell_size
+from repro.bench.reporting import ascii_table, series_by
+
+
+def test_fig3i_cell_size_tradeoff(benchmark):
+    scale = bench_scale()
+    cell_sizes = (0.002, 0.01, 0.05, 0.1)
+    records = benchmark.pedantic(
+        lambda: experiment_fig3i_cell_size(
+            scale=scale, cell_sizes=cell_sizes, num_attributes=6, k=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="E8 / Figure 3i: SYM-GD cell-size trade-off"))
+
+    series = series_by(records, "cell_size", value="error")
+    errors = [error for _, error in series["symgd"]]
+    # Shape: the largest cell is at least as good as the smallest one.
+    assert errors[-1] <= errors[0] + 1e-9

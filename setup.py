@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 editable wheels, which require `wheel`; this
+offline environment does not ship it, so the legacy path
+(`pip install -e . --no-build-isolation --no-use-pep517`) is kept working via
+this file.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""RankHow reproduction: synthesizing linear scoring functions for rankings.
+
+This package reproduces "Synthesizing Scoring Functions for Rankings Using
+Symbolic Gradient Descent" (ICDE 2025).  Given a relation and a ranking of its
+tuples -- but no information about the ranking function -- it synthesizes
+simple linear scoring functions that approximate the ranking while honouring
+user constraints on the weights.
+
+Quick start::
+
+    from repro import RankHow, RankingProblem, Ranking
+    from repro.data import generate_uniform, ranking_from_scores
+
+    relation = generate_uniform(num_tuples=200, num_attributes=4, seed=1)
+    scores = relation.matrix() @ [0.4, 0.3, 0.2, 0.1]
+    ranking = ranking_from_scores(scores, k=5)
+    problem = RankingProblem(relation, ranking)
+    result = RankHow().solve(problem)
+    print(result.describe())
+
+Sub-packages:
+
+* :mod:`repro.core` -- the OPT problem, the RankHow MILP, SYM-GD, TREE.
+* :mod:`repro.solvers` -- the from-scratch LP/MILP substrate.
+* :mod:`repro.data` -- the relational substrate and dataset generators.
+* :mod:`repro.baselines` -- the competitors of Section VI.
+* :mod:`repro.bench` -- the experiment harness reproducing every table/figure.
+"""
+
+from repro.core import (
+    ConstraintSet,
+    LinearScoringFunction,
+    PositionRangeConstraint,
+    PrecedenceConstraint,
+    RankHow,
+    RankHowOptions,
+    Ranking,
+    RankingProblem,
+    SymGD,
+    SymGDOptions,
+    SynthesisResult,
+    ToleranceSettings,
+    TreeOptions,
+    TreeSolver,
+    UNRANKED,
+    WeightConstraint,
+    fix_weight,
+    group_weight_bound,
+    max_weight,
+    min_weight,
+    position_error,
+    solve_exact,
+    verify_weights,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintSet",
+    "LinearScoringFunction",
+    "PositionRangeConstraint",
+    "PrecedenceConstraint",
+    "RankHow",
+    "RankHowOptions",
+    "Ranking",
+    "RankingProblem",
+    "SymGD",
+    "SymGDOptions",
+    "SynthesisResult",
+    "ToleranceSettings",
+    "TreeOptions",
+    "TreeSolver",
+    "UNRANKED",
+    "WeightConstraint",
+    "fix_weight",
+    "group_weight_bound",
+    "max_weight",
+    "min_weight",
+    "position_error",
+    "solve_exact",
+    "verify_weights",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Competitor algorithms from Section VI of the paper.
+
+* :class:`~repro.baselines.linear_regression.LinearRegressionBaseline` --
+  ordinary / non-negative least squares on rank-derived labels.
+* :class:`~repro.baselines.ordinal_regression.OrdinalRegressionBaseline` --
+  Srinivasan's LP ordinal regression, extended with tie and imprecision
+  support (both can be switched off to recover the original technique).
+* :class:`~repro.baselines.adarank.AdaRankBaseline` -- the AdaRank boosting
+  algorithm adapted to tuple ranking with single-attribute weak rankers.
+* :class:`~repro.baselines.sampling.SamplingBaseline` -- random weight
+  vectors under the problem constraints within a time or sample budget.
+
+Every baseline exposes ``solve(problem) -> SynthesisResult`` so the harness
+and the benchmarks can swap algorithms freely.
+"""
+
+from repro.baselines.adarank import AdaRankBaseline, AdaRankOptions
+from repro.baselines.linear_regression import LinearRegressionBaseline
+from repro.baselines.ordinal_regression import (
+    OrdinalRegressionBaseline,
+    OrdinalRegressionOptions,
+)
+from repro.baselines.sampling import SamplingBaseline, SamplingOptions
+
+__all__ = [
+    "AdaRankBaseline",
+    "AdaRankOptions",
+    "LinearRegressionBaseline",
+    "OrdinalRegressionBaseline",
+    "OrdinalRegressionOptions",
+    "SamplingBaseline",
+    "SamplingOptions",
+]

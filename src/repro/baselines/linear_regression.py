@@ -1,0 +1,105 @@
+"""Linear regression on rank-derived labels (the LINEARREGRESSION competitor).
+
+Following Example 2 of the paper, the tuple ranked at position ``i`` receives
+the numeric label ``n - i + 1`` (higher label = better), unranked tuples are
+treated as tied just below the ranked prefix, and an ordinary least-squares
+(or non-negative least-squares) fit predicts the label from the ranking
+attributes.  The fitted coefficients are then used as the scoring function.
+
+The point of the baseline is precisely its weakness: it minimizes squared
+label error, not position error, so it can prefer a function that predicts
+scores accurately yet ranks tuples in the wrong order (Examples 2 and 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RankingProblem
+from repro.core.ranking import UNRANKED
+from repro.core.result import SynthesisResult
+
+__all__ = ["LinearRegressionBaseline"]
+
+
+@dataclass
+class LinearRegressionBaseline:
+    """OLS / NNLS on rank labels.
+
+    Attributes:
+        non_negative: Constrain coefficients to be non-negative (the paper
+            evaluates both settings in Example 3).
+        include_unranked: Give unranked tuples a shared label just below the
+            ranked prefix; when ``False`` the fit uses only the top-k tuples.
+        fit_intercept: Include an intercept term (it does not affect the
+            induced ranking but changes the fitted slope).
+    """
+
+    non_negative: bool = False
+    include_unranked: bool = True
+    fit_intercept: bool = True
+
+    def solve(self, problem: RankingProblem) -> SynthesisResult:
+        """Fit the regression and evaluate its position error."""
+        start = time.perf_counter()
+        matrix = problem.matrix
+        positions = problem.ranking.positions
+        n = problem.num_tuples
+
+        ranked_mask = positions != UNRANKED
+        labels = np.zeros(n, dtype=float)
+        labels[ranked_mask] = n - positions[ranked_mask] + 1
+        labels[~ranked_mask] = float(n - problem.k)
+
+        if self.include_unranked:
+            fit_rows = np.arange(n)
+        else:
+            fit_rows = np.where(ranked_mask)[0]
+        features = matrix[fit_rows]
+        targets = labels[fit_rows]
+
+        coefficients = self._fit(features, targets)
+        elapsed = time.perf_counter() - start
+        error = problem.error_of(coefficients)
+
+        return SynthesisResult(
+            weights=coefficients,
+            attributes=list(problem.attributes),
+            error=int(error),
+            objective=float(error),
+            optimal=False,
+            method="linear_regression_nn" if self.non_negative else "linear_regression",
+            solve_time=elapsed,
+            diagnostics={
+                "k": problem.k,
+                "non_negative": self.non_negative,
+                "fit_rows": int(len(fit_rows)),
+            },
+        )
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        num_attributes = features.shape[1]
+        if self.fit_intercept:
+            design = np.column_stack([features, np.ones(features.shape[0])])
+        else:
+            design = features
+
+        if self.non_negative:
+            from scipy.optimize import nnls
+
+            if self.fit_intercept:
+                # Keep the intercept unconstrained by absorbing it: center the
+                # targets and features, run NNLS on the centered problem.
+                feature_means = features.mean(axis=0)
+                target_mean = targets.mean()
+                centered = features - feature_means
+                solution, _ = nnls(centered, targets - target_mean)
+                return solution
+            solution, _ = nnls(design, targets)
+            return solution[:num_attributes]
+
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        return solution[:num_attributes]

@@ -1,0 +1,174 @@
+"""Srinivasan-style LP ordinal regression (the ORDINALREGRESSION competitor).
+
+Srinivasan (1976) learns a linear scoring function from an ordering by
+minimizing the total *score penalty* of inverted pairs: for every pair where
+the given ranking says ``a`` should beat ``b``, a slack variable absorbs any
+shortfall of ``w.(x_a - x_b)`` below a separation margin, and the LP minimizes
+the sum of slacks.  The loss is score-based, not position-based, which is why
+(Section VII) it can strongly prefer the wrong function; it is nevertheless
+fast and correlated with position error, so RankHow uses it as the default
+SYM-GD seed.
+
+Two extensions from the paper are implemented and can be switched off to
+recover the original method:
+
+* **ties** -- tuples sharing a given position get a pair of slack constraints
+  keeping their score difference inside the tie tolerance;
+* **numerical imprecision** -- the separation margin is ``eps1`` rather than
+  an arbitrary tiny constant (Table III applies exactly this fix, "OR+").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RankingProblem
+from repro.core.ranking import UNRANKED
+from repro.core.result import SynthesisResult
+from repro.solvers.lp import LinearProgram
+
+__all__ = ["OrdinalRegressionOptions", "OrdinalRegressionBaseline"]
+
+
+@dataclass
+class OrdinalRegressionOptions:
+    """Configuration of the ordinal-regression baseline.
+
+    Attributes:
+        support_ties: Add tie constraints for tuples sharing a position.
+        separation_margin: Required score gap for strictly ordered pairs; use
+            the problem's ``eps1`` when ``None`` ("OR+"), or supply a small
+            value such as ``1e-10`` to mimic the imprecision-oblivious "OR-".
+        include_unranked: Require the last-ranked tuple to beat every unranked
+            tuple (with slack); keeps the synthesized top-k near the top.
+        lp_method: LP backend.
+        apply_weight_constraints: Respect the problem's weight constraints
+            (useful when the result seeds SYM-GD).
+    """
+
+    support_ties: bool = True
+    separation_margin: float | None = None
+    include_unranked: bool = True
+    lp_method: str = "scipy"
+    apply_weight_constraints: bool = True
+
+
+class OrdinalRegressionBaseline:
+    """LP ordinal regression over the given ranking."""
+
+    def __init__(self, options: OrdinalRegressionOptions | None = None) -> None:
+        self.options = options or OrdinalRegressionOptions()
+
+    def solve(self, problem: RankingProblem) -> SynthesisResult:
+        """Fit the LP and evaluate the resulting weights."""
+        options = self.options
+        start = time.perf_counter()
+        matrix = problem.matrix
+        positions = problem.ranking.positions
+        m = problem.num_attributes
+        margin = (
+            problem.tolerances.eps1
+            if options.separation_margin is None
+            else options.separation_margin
+        )
+        tie_eps = max(problem.tolerances.tie_eps, 0.0)
+
+        # Ranked tuples ordered by position; consecutive distinct positions
+        # produce ordering constraints, equal positions produce tie constraints.
+        ranked = [int(r) for r in problem.top_k_indices()]
+        ordered_pairs: list[tuple[int, int]] = []  # (better, worse)
+        tied_pairs: list[tuple[int, int]] = []
+        for i in range(len(ranked) - 1):
+            a, b = ranked[i], ranked[i + 1]
+            if positions[a] == positions[b]:
+                tied_pairs.append((a, b))
+            else:
+                ordered_pairs.append((a, b))
+        if options.include_unranked and ranked:
+            last = ranked[-1]
+            for s in np.where(positions == UNRANKED)[0]:
+                ordered_pairs.append((last, int(s)))
+
+        num_order_slacks = len(ordered_pairs)
+        num_tie_slacks = 2 * len(tied_pairs) if options.support_ties else 0
+        total_vars = m + num_order_slacks + num_tie_slacks
+
+        lp = LinearProgram(total_vars)
+        objective = np.zeros(total_vars)
+        objective[m:] = 1.0
+        lp.set_objective(objective)
+        lower = np.zeros(total_vars)
+        upper = np.full(total_vars, np.inf)
+        upper[:m] = 1.0
+        lp.set_all_bounds(lower, upper)
+
+        simplex_row = np.zeros(total_vars)
+        simplex_row[:m] = 1.0
+        lp.add_constraint(simplex_row, "==", 1.0)
+
+        if options.apply_weight_constraints:
+            for row, sense, rhs in problem.constraints.weight_rows(problem.attributes):
+                full_row = np.zeros(total_vars)
+                full_row[:m] = row
+                lp.add_constraint(full_row, sense, rhs)
+
+        slack_index = m
+        for better, worse in ordered_pairs:
+            row = np.zeros(total_vars)
+            row[:m] = matrix[better] - matrix[worse]
+            row[slack_index] = 1.0
+            lp.add_constraint(row, ">=", margin)
+            slack_index += 1
+
+        if options.support_ties:
+            for a, b in tied_pairs:
+                difference = matrix[a] - matrix[b]
+                row_upper = np.zeros(total_vars)
+                row_upper[:m] = difference
+                row_upper[slack_index] = -1.0
+                lp.add_constraint(row_upper, "<=", tie_eps)
+                slack_index += 1
+                row_lower = np.zeros(total_vars)
+                row_lower[:m] = difference
+                row_lower[slack_index] = 1.0
+                lp.add_constraint(row_lower, ">=", -tie_eps)
+                slack_index += 1
+
+        solution = lp.solve(method=options.lp_method)
+        elapsed = time.perf_counter() - start
+
+        if not solution.is_optimal:
+            fallback = np.full(m, 1.0 / m)
+            return SynthesisResult(
+                weights=fallback,
+                attributes=list(problem.attributes),
+                error=int(problem.error_of(fallback)),
+                objective=float("inf"),
+                optimal=False,
+                method="ordinal_regression",
+                solve_time=elapsed,
+                diagnostics={"k": problem.k, "status": solution.status.value},
+            )
+
+        weights = np.asarray(solution.x[:m], dtype=float)
+        weights[weights < 0] = 0.0
+        error = problem.error_of(weights)
+        return SynthesisResult(
+            weights=weights,
+            attributes=list(problem.attributes),
+            error=int(error),
+            objective=float(solution.objective),
+            optimal=False,
+            method="ordinal_regression",
+            solve_time=elapsed,
+            diagnostics={
+                "k": problem.k,
+                "score_penalty": float(solution.objective),
+                "ordered_pairs": len(ordered_pairs),
+                "tied_pairs": len(tied_pairs),
+                "margin": margin,
+            },
+        )

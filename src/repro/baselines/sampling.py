@@ -1,0 +1,115 @@
+"""Random-sampling baseline (the SAMPLING competitor).
+
+SAMPLING draws random weight vectors from the simplex (a Dirichlet
+distribution), discards vectors that violate the problem's weight constraints,
+evaluates the position error of the survivors, and keeps the best one.  The
+paper gives it a time budget equal to RankHow's runtime; this implementation
+supports both a time budget and a fixed sample budget so that benchmarks are
+reproducible and unit tests are fast.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RankingProblem
+from repro.core.result import SynthesisResult
+
+__all__ = ["SamplingOptions", "SamplingBaseline"]
+
+
+@dataclass
+class SamplingOptions:
+    """Configuration of the sampling baseline.
+
+    Attributes:
+        num_samples: Maximum number of weight vectors to draw.
+        time_limit: Optional wall-clock budget in seconds (whichever of the
+            two budgets is hit first stops the search).
+        concentration: Dirichlet concentration; 1.0 is uniform over the
+            simplex, smaller values favour sparse vectors.
+        seed: Random seed.
+        include_corners: Also evaluate the single-attribute corner vectors and
+            the uniform center (cheap and often competitive).
+    """
+
+    num_samples: int = 1000
+    time_limit: float | None = None
+    concentration: float = 1.0
+    seed: int = 0
+    include_corners: bool = True
+
+
+class SamplingBaseline:
+    """Best-of-random-weights search under the problem constraints."""
+
+    def __init__(self, options: SamplingOptions | None = None) -> None:
+        self.options = options or SamplingOptions()
+
+    def solve(self, problem: RankingProblem) -> SynthesisResult:
+        """Draw weight vectors, keep the best feasible one."""
+        options = self.options
+        start = time.perf_counter()
+        rng = np.random.default_rng(options.seed)
+        m = problem.num_attributes
+
+        best_weights = np.full(m, 1.0 / m)
+        best_error = (
+            problem.error_of(best_weights)
+            if problem.weights_feasible(best_weights)
+            else np.inf
+        )
+        evaluated = 0
+        rejected = 0
+
+        candidates: list[np.ndarray] = []
+        if options.include_corners:
+            candidates.extend(np.eye(m))
+
+        def out_of_time() -> bool:
+            return (
+                options.time_limit is not None
+                and time.perf_counter() - start > options.time_limit
+            )
+
+        draws = 0
+        while draws < options.num_samples and not out_of_time():
+            if candidates:
+                weights = candidates.pop()
+            else:
+                weights = rng.dirichlet(np.full(m, options.concentration))
+                draws += 1
+            if not problem.weights_feasible(weights):
+                rejected += 1
+                continue
+            error = problem.error_of(weights)
+            evaluated += 1
+            if error < best_error:
+                best_error = error
+                best_weights = np.asarray(weights, dtype=float)
+                if best_error == 0:
+                    break
+
+        elapsed = time.perf_counter() - start
+        if not np.isfinite(best_error):
+            # No feasible sample found; report the uniform vector anyway.
+            best_error = problem.error_of(best_weights)
+        return SynthesisResult(
+            weights=best_weights,
+            attributes=list(problem.attributes),
+            error=int(best_error),
+            objective=float(best_error),
+            optimal=False,
+            method="sampling",
+            solve_time=elapsed,
+            iterations=evaluated,
+            diagnostics={
+                "k": problem.k,
+                "evaluated": evaluated,
+                "rejected": rejected,
+                "num_samples": options.num_samples,
+            },
+        )

@@ -1,0 +1,40 @@
+"""Benchmark harness reproducing every table and figure of the paper's Section VI.
+
+* :mod:`repro.bench.harness` -- problem builders (NBA-like, CSRankings-like,
+  synthetic), the method registry, and the sweep runner.
+* :mod:`repro.bench.reporting` -- experiment records, ASCII tables and CSV
+  output matching the rows/series the paper reports.
+* :mod:`repro.bench.experiments` -- one entry point per experiment (the
+  per-experiment index lives in DESIGN.md).
+
+The ``benchmarks/`` directory at the repository root contains thin
+pytest-benchmark wrappers around :mod:`repro.bench.experiments`.
+"""
+
+from repro.bench.harness import (
+    BenchmarkScale,
+    MethodBudget,
+    csrankings_problem,
+    nba_problem,
+    run_method,
+    synthetic_problem,
+)
+from repro.bench.reporting import (
+    ExperimentRecord,
+    ascii_table,
+    records_to_csv,
+    series_by,
+)
+
+__all__ = [
+    "BenchmarkScale",
+    "MethodBudget",
+    "csrankings_problem",
+    "nba_problem",
+    "run_method",
+    "synthetic_problem",
+    "ExperimentRecord",
+    "ascii_table",
+    "records_to_csv",
+    "series_by",
+]

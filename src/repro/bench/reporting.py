@@ -1,0 +1,148 @@
+"""Experiment records, ASCII tables and CSV output for the benchmark harness.
+
+The paper's figures plot "error per tuple" and "execution time" against a
+swept parameter, for several methods.  The harness stores one
+:class:`ExperimentRecord` per (method, parameter point) and this module turns
+collections of records into the same rows/series, printed as plain text so
+that benchmark logs are self-contained.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentRecord", "ascii_table", "records_to_csv", "series_by"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured point of an experiment.
+
+    Attributes:
+        experiment: Experiment identifier, e.g. ``"fig3b"`` or ``"table3"``.
+        dataset: Dataset label, e.g. ``"nba"`` or ``"uniform"``.
+        method: Algorithm label, e.g. ``"rankhow"``.
+        params: Swept parameters for this point (``{"k": 4}``).
+        error: Total position error.
+        per_tuple_error: Error divided by ``k``.
+        time_seconds: Wall-clock solve time.
+        extra: Anything else worth keeping (node counts, verification flags).
+    """
+
+    experiment: str
+    dataset: str
+    method: str
+    params: dict[str, object] = field(default_factory=dict)
+    error: float = 0.0
+    per_tuple_error: float = 0.0
+    time_seconds: float = 0.0
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten the record into a single dict (for CSV / tables)."""
+        row: dict[str, object] = {
+            "experiment": self.experiment,
+            "dataset": self.dataset,
+            "method": self.method,
+            "error": self.error,
+            "per_tuple_error": round(self.per_tuple_error, 4),
+            "time_seconds": round(self.time_seconds, 4),
+        }
+        row.update({f"param_{k}": v for k, v in self.params.items()})
+        row.update({f"extra_{k}": v for k, v in self.extra.items()})
+        return row
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(
+    records: Iterable[ExperimentRecord],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render records as a fixed-width text table.
+
+    Args:
+        records: Records to print.
+        columns: Column names (keys of :meth:`ExperimentRecord.as_row`); the
+            default shows the common columns plus every parameter seen.
+        title: Optional heading.
+    """
+    rows = [record.as_row() for record in records]
+    if not rows:
+        return f"{title or 'experiment'}: (no records)"
+    if columns is None:
+        base = ["experiment", "dataset", "method"]
+        params = sorted({key for row in rows for key in row if key.startswith("param_")})
+        columns = base + params + ["error", "per_tuple_error", "time_seconds"]
+    widths = {
+        column: max(len(column), *(len(_format_cell(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append(separator)
+    for row in rows:
+        lines.append(
+            " | ".join(
+                _format_cell(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def records_to_csv(records: Iterable[ExperimentRecord], path: str | Path) -> Path:
+    """Write records to a CSV file and return the path."""
+    rows = [record.as_row() for record in records]
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    field_names: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in field_names:
+                field_names.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=field_names)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def series_by(
+    records: Iterable[ExperimentRecord],
+    x_param: str,
+    value: str = "per_tuple_error",
+) -> dict[str, list[tuple[object, float]]]:
+    """Group records into per-method series, the way the figures plot them.
+
+    Args:
+        records: Records from one experiment.
+        x_param: Name of the swept parameter (``"k"``, ``"n"``, ``"m"``, ...).
+        value: ``"per_tuple_error"``, ``"error"`` or ``"time_seconds"``.
+
+    Returns:
+        Mapping method -> list of ``(x, y)`` points sorted by ``x``.
+    """
+    series: dict[str, list[tuple[object, float]]] = {}
+    for record in records:
+        x = record.params.get(x_param)
+        y = float(getattr(record, value))
+        series.setdefault(record.method, []).append((x, y))
+    for points in series.values():
+        points.sort(key=lambda pair: pair[0])
+    return series

@@ -1,0 +1,161 @@
+"""Weight-space cells and per-cell error bounds (Section IV-B).
+
+A *cell* is an axis-aligned box in weight space, intersected with the simplex
+``w >= 0, sum w = 1``.  SYM-GD restricts the MILP to a cell around the seed
+point; the grid seeding strategy evaluates a lower bound of the position error
+achievable inside each cell and starts from the most promising one.
+
+The bound follows the paper's insight: for a cell ``C`` and an indicator
+hyperplane ``w . (s - r) = eps``, either the cell lies entirely on one side
+(the indicator is constant over the cell) or the hyperplane crosses it (the
+indicator is free).  Counting constant-1, constant-0 and free indicators per
+ranked tuple gives an interval for its induced rank and therefore a lower and
+an upper bound on its position error.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RankingProblem
+
+__all__ = ["Cell", "cell_around", "grid_cells", "cell_error_bounds"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """An axis-aligned box ``[lower, upper]`` in weight space."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=float)
+        upper = np.asarray(self.upper, dtype=float)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("cell bounds must be 1-D arrays of equal length")
+        if np.any(lower > upper + 1e-12):
+            raise ValueError("cell lower bound exceeds upper bound")
+        object.__setattr__(self, "lower", np.clip(lower, 0.0, 1.0))
+        object.__setattr__(self, "upper", np.clip(upper, 0.0, 1.0))
+
+    @property
+    def dimension(self) -> int:
+        return int(self.lower.shape[0])
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lower + self.upper) / 2.0
+
+    def contains(self, weights: np.ndarray, tol: float = 1e-9) -> bool:
+        weights = np.asarray(weights, dtype=float)
+        return bool(
+            np.all(weights >= self.lower - tol) and np.all(weights <= self.upper + tol)
+        )
+
+    def intersects_simplex(self, tol: float = 1e-9) -> bool:
+        """Does the box contain any point with ``sum w = 1``?"""
+        return (
+            float(self.lower.sum()) <= 1.0 + tol
+            and float(self.upper.sum()) >= 1.0 - tol
+        )
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.lower.copy(), self.upper.copy()
+
+
+def cell_around(center: np.ndarray, size: float) -> Cell:
+    """The cell of side ``size`` centered at a weight vector (clipped to [0,1]).
+
+    Matches the paper's ``solve(W, c)`` constraint
+    ``max(w_i - c/2, 0) <= w_i <= min(w_i + c/2, 1)``.
+    """
+    if not 0.0 < size < 2.0:
+        raise ValueError("cell size must lie in (0, 2)")
+    center = np.asarray(center, dtype=float).ravel()
+    half = size / 2.0
+    return Cell(np.clip(center - half, 0.0, 1.0), np.clip(center + half, 0.0, 1.0))
+
+
+def grid_cells(
+    num_attributes: int,
+    cell_size: float,
+    max_cells: int = 4096,
+) -> list[Cell]:
+    """Axis-aligned grid of cells covering the weight simplex.
+
+    The full grid has ``(1/c)^m`` cells; only cells that intersect the simplex
+    are returned, and enumeration stops after ``max_cells`` to keep the seeding
+    strategy tractable for larger ``m`` (the paper notes the same practical
+    concern, which is why ordinal-regression seeding is the default).
+    """
+    if not 0.0 < cell_size <= 1.0:
+        raise ValueError("cell_size must lie in (0, 1]")
+    steps = int(np.ceil(1.0 / cell_size))
+    cells: list[Cell] = []
+    for combo in itertools.product(range(steps), repeat=num_attributes):
+        lower = np.asarray(combo, dtype=float) * cell_size
+        upper = np.minimum(lower + cell_size, 1.0)
+        cell = Cell(lower, upper)
+        if cell.intersects_simplex():
+            cells.append(cell)
+            if len(cells) >= max_cells:
+                return cells
+    return cells
+
+
+def cell_error_bounds(problem: RankingProblem, cell: Cell) -> tuple[int, int]:
+    """Lower and upper bound of the position error over a cell.
+
+    For every ranked tuple ``r`` and every other tuple ``s``, the score
+    difference ``w . (s - r)`` over the cell (intersected with the simplex) is
+    bounded by interval arithmetic; comparing the interval with ``eps1`` /
+    ``eps2`` classifies the indicator as certainly 1, certainly 0, or free.
+    The induced rank of ``r`` then lies in ``[1 + certain_ones,
+    1 + certain_ones + free]`` and its error contribution in the distance
+    between that interval and the given position.
+    """
+    if cell.dimension != problem.num_attributes:
+        raise ValueError("cell dimension does not match the number of attributes")
+    matrix = problem.matrix
+    tolerances = problem.tolerances
+    positions = problem.ranking.positions
+    ranked = problem.top_k_indices()
+
+    lower_total = 0
+    upper_total = 0
+    lower_box, upper_box = cell.lower, cell.upper
+    for r in ranked:
+        diffs = matrix - matrix[r]
+        # Interval of w . diff over the box, intersected with the simplex bound.
+        positive = np.clip(diffs, 0.0, None)
+        negative = np.clip(diffs, None, 0.0)
+        box_low = positive @ lower_box + negative @ upper_box
+        box_high = positive @ upper_box + negative @ lower_box
+        simplex_low = diffs.min(axis=1)
+        simplex_high = diffs.max(axis=1)
+        low = np.maximum(box_low, simplex_low)
+        high = np.minimum(box_high, simplex_high)
+
+        certain_one = (low >= tolerances.eps1)
+        certain_zero = (high <= tolerances.eps2)
+        certain_one[r] = False
+        certain_zero[r] = True  # a tuple never beats itself
+        free = ~(certain_one | certain_zero)
+        free[r] = False
+
+        min_rank = 1 + int(np.sum(certain_one))
+        max_rank = min_rank + int(np.sum(free))
+        given = int(positions[r])
+        if given < min_rank:
+            lower_total += min_rank - given
+            upper_total += max_rank - given
+        elif given > max_rank:
+            lower_total += given - max_rank
+            upper_total += given - min_rank
+        else:
+            upper_total += max(abs(given - min_rank), abs(max_rank - given))
+    return lower_total, upper_total

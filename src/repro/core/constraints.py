@@ -1,0 +1,202 @@
+"""Constraint DSL for exploring alternative scoring functions.
+
+RankHow's distinguishing feature over plain learning techniques is that the
+user can constrain the weight vector (Example 1 of the paper):
+
+* linear constraints ``sum_i alpha_i * w_i <= alpha_0`` over the weights,
+  e.g. "the coefficient of PTS must be at least 0.1" or "the defensive
+  attributes together get at most 0.4";
+* *position constraints* on individual tuples, e.g. "the number-1 player must
+  stay at position 1" or "every top-10 player moves by at most 2 positions";
+* *precedence constraints*, e.g. "Jokic must be ranked above Tatum".
+
+Weight constraints become rows of the LP/MILP directly; position constraints
+become linear constraints over the indicator variables; precedence constraints
+become a single linear constraint over the weights (the score difference must
+exceed the separation threshold ``eps1``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "WeightConstraint",
+    "PositionRangeConstraint",
+    "PrecedenceConstraint",
+    "ConstraintSet",
+    "min_weight",
+    "max_weight",
+    "fix_weight",
+    "group_weight_bound",
+]
+
+
+@dataclass(frozen=True)
+class WeightConstraint:
+    """``sum_i coefficients[A_i] * w_i  <sense>  rhs``.
+
+    Attributes:
+        coefficients: Mapping attribute name -> coefficient; attributes not
+            mentioned have coefficient zero.
+        sense: ``"<="``, ``">="`` or ``"=="``.
+        rhs: Right-hand side constant.
+        name: Optional label used in error messages and reports.
+    """
+
+    coefficients: Mapping[str, float]
+    sense: str
+    rhs: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"unsupported sense {self.sense!r}")
+        if not self.coefficients:
+            raise ValueError("a weight constraint needs at least one coefficient")
+
+    def row(self, attributes: Sequence[str]) -> np.ndarray:
+        """Dense coefficient row aligned with ``attributes``."""
+        row = np.zeros(len(attributes))
+        for name, value in self.coefficients.items():
+            if name not in attributes:
+                raise KeyError(
+                    f"constraint {self.name or self.coefficients} references "
+                    f"unknown attribute {name!r}"
+                )
+            row[list(attributes).index(name)] = float(value)
+        return row
+
+    def is_satisfied(
+        self,
+        weights: np.ndarray,
+        attributes: Sequence[str],
+        tol: float = 1e-9,
+    ) -> bool:
+        value = float(self.row(attributes) @ np.asarray(weights, dtype=float))
+        if self.sense == "<=":
+            return value <= self.rhs + tol
+        if self.sense == ">=":
+            return value >= self.rhs - tol
+        return abs(value - self.rhs) <= tol
+
+
+@dataclass(frozen=True)
+class PositionRangeConstraint:
+    """Tuple ``tuple_index`` must land at a position in ``[min_position, max_position]``.
+
+    Only meaningful for tuples that are ranked in the given ranking (the MILP
+    has indicator variables only for those).  Example 1's "no top-10 player
+    moves by more than 2 positions" is a collection of these.
+    """
+
+    tuple_index: int
+    min_position: int
+    max_position: int
+
+    def __post_init__(self) -> None:
+        if self.min_position < 1:
+            raise ValueError("min_position must be >= 1")
+        if self.max_position < self.min_position:
+            raise ValueError("max_position must be >= min_position")
+
+
+@dataclass(frozen=True)
+class PrecedenceConstraint:
+    """Tuple ``above`` must be ranked strictly above tuple ``below``."""
+
+    above: int
+    below: int
+
+    def __post_init__(self) -> None:
+        if self.above == self.below:
+            raise ValueError("a tuple cannot precede itself")
+
+
+@dataclass
+class ConstraintSet:
+    """A conjunction of weight, position-range, and precedence constraints."""
+
+    weight_constraints: list[WeightConstraint] = field(default_factory=list)
+    position_constraints: list[PositionRangeConstraint] = field(default_factory=list)
+    precedence_constraints: list[PrecedenceConstraint] = field(default_factory=list)
+
+    # -- construction helpers -------------------------------------------------
+
+    def add(self, constraint) -> "ConstraintSet":
+        """Add any supported constraint object; returns ``self`` for chaining."""
+        if isinstance(constraint, WeightConstraint):
+            self.weight_constraints.append(constraint)
+        elif isinstance(constraint, PositionRangeConstraint):
+            self.position_constraints.append(constraint)
+        elif isinstance(constraint, PrecedenceConstraint):
+            self.precedence_constraints.append(constraint)
+        else:
+            raise TypeError(f"unsupported constraint type: {type(constraint)!r}")
+        return self
+
+    def __len__(self) -> int:
+        return (
+            len(self.weight_constraints)
+            + len(self.position_constraints)
+            + len(self.precedence_constraints)
+        )
+
+    def weight_rows(
+        self, attributes: Sequence[str]
+    ) -> list[tuple[np.ndarray, str, float]]:
+        """All weight constraints as ``(row, sense, rhs)`` triples."""
+        return [
+            (c.row(attributes), c.sense, c.rhs) for c in self.weight_constraints
+        ]
+
+    def weights_satisfied(
+        self,
+        weights: np.ndarray,
+        attributes: Sequence[str],
+        tol: float = 1e-9,
+    ) -> bool:
+        """Check only the weight constraints against a candidate vector."""
+        return all(
+            c.is_satisfied(weights, attributes, tol) for c in self.weight_constraints
+        )
+
+    def copy(self) -> "ConstraintSet":
+        return ConstraintSet(
+            list(self.weight_constraints),
+            list(self.position_constraints),
+            list(self.precedence_constraints),
+        )
+
+
+# -- convenience constructors ----------------------------------------------------
+
+
+def min_weight(attribute: str, value: float) -> WeightConstraint:
+    """``w[attribute] >= value`` (e.g. "points must matter at least 0.1")."""
+    return WeightConstraint({attribute: 1.0}, ">=", value, name=f"{attribute}>={value}")
+
+
+def max_weight(attribute: str, value: float) -> WeightConstraint:
+    """``w[attribute] <= value``."""
+    return WeightConstraint({attribute: 1.0}, "<=", value, name=f"{attribute}<={value}")
+
+
+def fix_weight(attribute: str, value: float) -> WeightConstraint:
+    """``w[attribute] == value``."""
+    return WeightConstraint({attribute: 1.0}, "==", value, name=f"{attribute}=={value}")
+
+
+def group_weight_bound(
+    attributes: Sequence[str], sense: str, value: float
+) -> WeightConstraint:
+    """Bound the summed weight of a group, e.g. all defensive skills."""
+    return WeightConstraint(
+        {name: 1.0 for name in attributes},
+        sense,
+        value,
+        name=f"sum({','.join(attributes)}){sense}{value}",
+    )

@@ -1,0 +1,346 @@
+"""The RankHow MILP formulation (Equation 2) and its helpers.
+
+Given a :class:`~repro.core.problem.RankingProblem`, :class:`RankHowFormulation`
+builds a :class:`~repro.solvers.milp.MILPModel` with
+
+* one continuous weight variable per ranking attribute (``0 <= w_i <= 1``,
+  ``sum w_i = 1``, plus the user's weight constraints),
+* one binary indicator ``delta[s, r]`` per (ranked tuple ``r``, other tuple
+  ``s``) pair that is not eliminated by the dominance analysis of
+  Section V-B,
+* one continuous error variable ``e_r >= |rank(r) - pi(r)|`` per ranked tuple,
+
+with the indicator semantics expressed through the paper's ``eps1`` / ``eps2``
+thresholds (Equation 3 / Lemma 1) and encoded with *tight* big-M values: over
+the weight simplex the score difference ``w . (s - r)`` always lies between the
+minimum and maximum attribute difference, which gives pair-specific constants
+far smaller than a generic big-M.
+
+Indicator elimination.  The paper removes indicators of dominator/dominatee
+pairs.  The formulation applies the natural generalization: if the *minimum*
+attribute difference is already ``>= eps1``, every feasible weight vector makes
+``s`` beat ``r`` and the indicator is fixed to 1; if the *maximum* difference
+is ``<= eps2``, the indicator is fixed to 0.  Strict domination is the special
+case where all differences share a sign.
+
+The formulation also supplies the branch-and-bound incumbent heuristic: any
+relaxation solution contains a feasible weight vector, and simply *ranking the
+tuples by it* yields a feasible integral assignment whose objective is that
+vector's true position error.  This is what makes the holistic MILP route so
+much faster than the cell-enumeration TREE baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RankingProblem
+from repro.core.ranking import UNRANKED
+from repro.solvers.milp import MILPModel
+
+__all__ = ["IndicatorKey", "RankHowFormulation"]
+
+
+@dataclass(frozen=True)
+class IndicatorKey:
+    """Identifies the indicator ``delta[s, r]`` (does ``s`` beat ``r``?)."""
+
+    s: int
+    r: int
+
+
+class RankHowFormulation:
+    """Builds and interprets the Equation (2) MILP for one problem instance."""
+
+    def __init__(
+        self,
+        problem: RankingProblem,
+        eliminate_dominated: bool = True,
+        error_weights: dict[int, float] | None = None,
+        cell_bounds: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Build the MILP.
+
+        Args:
+            problem: The OPT instance.
+            eliminate_dominated: Apply the Section V-B indicator elimination.
+            error_weights: Optional per-tuple objective weights keyed by tuple
+                index (defaults to 1, i.e. plain position error; pass
+                ``1/pi(r)`` style weights for top-heavy objectives).
+            cell_bounds: Optional ``(lower, upper)`` box on the weight vector;
+                used by SYM-GD to restrict the solve to a cell around a seed
+                point, which also makes the dominance analysis fix many more
+                indicators.
+        """
+        self.problem = problem
+        self.eliminate_dominated = eliminate_dominated
+        self._error_weights = error_weights or {}
+        self._cell_lower, self._cell_upper = self._resolve_cell(cell_bounds)
+        self.model = MILPModel()
+        self.weight_vars: list[int] = []
+        self.error_vars: dict[int, int] = {}
+        self.indicator_vars: dict[IndicatorKey, int] = {}
+        self.fixed_indicators: dict[IndicatorKey, int] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------------
+
+    def _resolve_cell(
+        self, cell_bounds: tuple[np.ndarray, np.ndarray] | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        m = self.problem.num_attributes
+        if cell_bounds is None:
+            return np.zeros(m), np.ones(m)
+        lower = np.clip(np.asarray(cell_bounds[0], dtype=float).ravel(), 0.0, 1.0)
+        upper = np.clip(np.asarray(cell_bounds[1], dtype=float).ravel(), 0.0, 1.0)
+        if lower.shape[0] != m or upper.shape[0] != m:
+            raise ValueError("cell bounds must have one entry per attribute")
+        if np.any(lower > upper):
+            raise ValueError("cell lower bounds exceed upper bounds")
+        return lower, upper
+
+    def _score_difference_range(self, diff: np.ndarray) -> tuple[float, float]:
+        """Range of ``w . diff`` over the (cell-restricted) weight simplex.
+
+        Without a cell the exact range over the simplex is
+        ``[min_i diff_i, max_i diff_i]``.  With a box ``[lo, up]`` intersected
+        with the simplex the exact range is harder; the box relaxation
+        ``sum_i diff_i * (up_i if diff_i > 0 else lo_i)`` is a valid (possibly
+        loose) bound, and we intersect it with the simplex bound which is
+        always valid because the cell is a subset of the simplex.
+        """
+        simplex_low = float(np.min(diff))
+        simplex_high = float(np.max(diff))
+        pos = diff > 0
+        neg = diff < 0
+        box_low = float(
+            np.sum(diff[pos] * self._cell_lower[pos])
+            + np.sum(diff[neg] * self._cell_upper[neg])
+        )
+        box_high = float(
+            np.sum(diff[pos] * self._cell_upper[pos])
+            + np.sum(diff[neg] * self._cell_lower[neg])
+        )
+        return max(simplex_low, box_low), min(simplex_high, box_high)
+
+    def _build(self) -> None:
+        problem = self.problem
+        matrix = problem.matrix
+        tolerances = problem.tolerances
+        positions = problem.ranking.positions
+        ranked = problem.top_k_indices()
+        n = problem.num_tuples
+        m = problem.num_attributes
+
+        # Weight variables and the simplex constraint.
+        for j in range(m):
+            self.weight_vars.append(
+                self.model.add_continuous(
+                    lower=float(self._cell_lower[j]),
+                    upper=float(self._cell_upper[j]),
+                    name=f"w[{problem.attributes[j]}]",
+                )
+            )
+        self.model.add_constraint(
+            {index: 1.0 for index in self.weight_vars}, "==", 1.0
+        )
+
+        # User weight constraints.
+        for row, sense, rhs in problem.constraints.weight_rows(problem.attributes):
+            self.model.add_constraint(
+                {self.weight_vars[j]: float(row[j]) for j in range(m) if row[j] != 0.0},
+                sense,
+                rhs,
+            )
+
+        # Precedence constraints become direct weight constraints.
+        for precedence in problem.constraints.precedence_constraints:
+            diff = matrix[precedence.above] - matrix[precedence.below]
+            self.model.add_constraint(
+                {self.weight_vars[j]: float(diff[j]) for j in range(m)},
+                ">=",
+                tolerances.eps1,
+            )
+
+        # Indicators, error variables and error constraints per ranked tuple.
+        for r in ranked:
+            fixed_ones = 0
+            variable_indices: list[int] = []
+            for s in range(n):
+                if s == r:
+                    continue
+                key = IndicatorKey(int(s), int(r))
+                diff = matrix[s] - matrix[r]
+                low, high = self._score_difference_range(diff)
+                if self.eliminate_dominated and low >= tolerances.eps1:
+                    self.fixed_indicators[key] = 1
+                    fixed_ones += 1
+                    continue
+                if self.eliminate_dominated and high <= tolerances.eps2:
+                    self.fixed_indicators[key] = 0
+                    continue
+                delta = self.model.add_binary(name=f"delta[{s},{r}]")
+                self.indicator_vars[key] = delta
+                variable_indices.append(delta)
+                row = {self.weight_vars[j]: float(diff[j]) for j in range(m)}
+                self.model.add_indicator(
+                    delta,
+                    1,
+                    row,
+                    ">=",
+                    tolerances.eps1,
+                    big_m=max(tolerances.eps1 - low, 0.0),
+                )
+                self.model.add_indicator(
+                    delta,
+                    0,
+                    row,
+                    "<=",
+                    tolerances.eps2,
+                    big_m=max(high - tolerances.eps2, 0.0),
+                )
+
+            given_position = int(positions[r])
+            weight = float(self._error_weights.get(int(r), 1.0))
+            error_var = self.model.add_continuous(
+                lower=0.0, upper=float(n), objective=weight, name=f"e[{r}]"
+            )
+            self.error_vars[int(r)] = error_var
+            base = 1 + fixed_ones - given_position
+            # e >= rank - pi(r)  <=>  e - sum(delta) >= base
+            row_up = {error_var: 1.0}
+            for delta in variable_indices:
+                row_up[delta] = -1.0
+            self.model.add_constraint(row_up, ">=", float(base))
+            # e >= pi(r) - rank  <=>  e + sum(delta) >= -base
+            row_down = {error_var: 1.0}
+            for delta in variable_indices:
+                row_down[delta] = 1.0
+            self.model.add_constraint(row_down, ">=", float(-base))
+
+            # Position-range constraints for this tuple (if any).
+            for constraint in problem.constraints.position_constraints:
+                if constraint.tuple_index != r:
+                    continue
+                # min_pos <= 1 + fixed_ones + sum(delta) <= max_pos
+                min_rhs = float(constraint.min_position - 1 - fixed_ones)
+                max_rhs = float(constraint.max_position - 1 - fixed_ones)
+                sum_row = {delta: 1.0 for delta in variable_indices}
+                if sum_row:
+                    self.model.add_constraint(sum_row, ">=", min_rhs)
+                    self.model.add_constraint(sum_row, "<=", max_rhs)
+                else:
+                    if not (min_rhs <= 0.0 <= max_rhs):
+                        # Infeasible by construction: encode with an impossible
+                        # constraint so the solver reports infeasibility.
+                        self.model.add_constraint(
+                            {self.weight_vars[0]: 0.0}, ">=", 1.0
+                        )
+
+    # -- interpretation ------------------------------------------------------------
+
+    @property
+    def num_indicator_variables(self) -> int:
+        return len(self.indicator_vars)
+
+    @property
+    def num_eliminated_indicators(self) -> int:
+        return len(self.fixed_indicators)
+
+    def weights_from(self, x: np.ndarray) -> np.ndarray:
+        """Extract the weight vector from a full variable assignment."""
+        weights = np.asarray([x[idx] for idx in self.weight_vars], dtype=float)
+        weights[np.abs(weights) < 1e-12] = 0.0
+        weights[weights < 0.0] = 0.0
+        return weights
+
+    def objective_error(self, x: np.ndarray) -> float:
+        """Objective value (sum of error variables) of an assignment."""
+        return float(sum(x[idx] for idx in self.error_vars.values()))
+
+    def indicator_assignment_for(
+        self, weights: np.ndarray, strict: bool = True
+    ) -> dict[IndicatorKey, int] | None:
+        """Indicator values implied by a weight vector.
+
+        A pair whose score difference falls strictly between ``eps2`` and
+        ``eps1`` cannot be assigned either value exactly (that is the "safety
+        gap" of Equation 3).  With ``strict=True`` such a weight vector has no
+        feasible completion and ``None`` is returned.  With ``strict=False``
+        the gap pair is resolved to the nearer side -- the same
+        within-tolerance acceptance a floating-point MILP solver applies --
+        and the caller is expected to re-check feasibility (and, ultimately,
+        run exact verification).
+        """
+        matrix = self.problem.matrix
+        tolerances = self.problem.tolerances
+        midpoint = 0.5 * (tolerances.eps1 + tolerances.eps2)
+        assignment: dict[IndicatorKey, int] = {}
+        for key in self.indicator_vars:
+            difference = float(weights @ (matrix[key.s] - matrix[key.r]))
+            if difference >= tolerances.eps1:
+                assignment[key] = 1
+            elif difference <= tolerances.eps2:
+                assignment[key] = 0
+            elif strict:
+                return None
+            else:
+                assignment[key] = 1 if difference > midpoint else 0
+        return assignment
+
+    def assemble_solution(
+        self, weights: np.ndarray, assignment: dict[IndicatorKey, int]
+    ) -> np.ndarray:
+        """Build a full variable vector from weights plus indicator values."""
+        x = np.zeros(self.model.num_vars)
+        for j, idx in enumerate(self.weight_vars):
+            x[idx] = weights[j]
+        counts: dict[int, int] = {r: 0 for r in self.error_vars}
+        for key, value in self.fixed_indicators.items():
+            if value == 1:
+                counts[key.r] = counts.get(key.r, 0) + 1
+        for key, idx in self.indicator_vars.items():
+            value = assignment[key]
+            x[idx] = float(value)
+            if value == 1:
+                counts[key.r] = counts.get(key.r, 0) + 1
+        positions = self.problem.ranking.positions
+        for r, error_var in self.error_vars.items():
+            rank = 1 + counts.get(r, 0)
+            x[error_var] = float(abs(rank - int(positions[r])))
+        return x
+
+    def incumbent_from_weights(
+        self, weights: np.ndarray, strict: bool = False
+    ) -> np.ndarray | None:
+        """Full assignment for a weight vector, or ``None``.
+
+        Non-strict by default: gap pairs are resolved within tolerance and the
+        branch-and-bound re-checks feasibility before accepting the incumbent.
+        """
+        assignment = self.indicator_assignment_for(weights, strict=strict)
+        if assignment is None:
+            return None
+        return self.assemble_solution(weights, assignment)
+
+    def incumbent_callback(self, x_relaxation: np.ndarray, model: MILPModel) -> np.ndarray | None:
+        """Branch-and-bound hook: round a relaxation solution to a feasible one."""
+        del model  # the formulation already holds everything it needs
+        weights = self.weights_from(x_relaxation)
+        total = float(weights.sum())
+        if total <= 0:
+            return None
+        # The relaxation's weights satisfy sum w = 1 up to numerical noise;
+        # re-normalizing keeps the simplex constraint exactly satisfied.  When
+        # user weight constraints are active the unnormalized vector is used as
+        # is (re-normalization might violate an equality constraint); feasibility
+        # is re-checked by the solver either way.
+        if not self.problem.constraints.weight_constraints:
+            weights = weights / total
+        return self.incumbent_from_weights(weights)
+
+    def error_of_top_k(self, weights: np.ndarray) -> int:
+        """True position error of a weight vector (uses the tie tolerance)."""
+        return self.problem.error_of(weights)

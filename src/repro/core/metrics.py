@@ -1,0 +1,157 @@
+"""Ranking-quality measures.
+
+The paper's primary objective is the *position-based error* (Definition 3):
+the sum over top-k tuples of how far their induced position deviates from the
+given position.  The paper also mentions support for Kendall's tau and other
+inversion-based measures, including variants that penalize errors near the top
+more heavily -- all of which are provided here so that the optimization layer
+and the evaluation harness share one implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.ranking import UNRANKED, Ranking
+from repro.core.scoring import LinearScoringFunction, induced_ranks
+
+__all__ = [
+    "position_error",
+    "per_tuple_position_error",
+    "position_error_of_function",
+    "inversions",
+    "kendall_tau",
+    "weighted_position_error",
+    "evaluate_function",
+]
+
+
+def _ranked_indices_and_positions(ranking: Ranking) -> tuple[np.ndarray, np.ndarray]:
+    positions = ranking.positions
+    ranked = np.where(positions != UNRANKED)[0]
+    return ranked, positions[ranked]
+
+
+def position_error(ranking: Ranking, induced_positions: np.ndarray) -> int:
+    """Total position-based error ``sum_r |rho(r) - pi(r)|`` over top-k tuples.
+
+    Args:
+        ranking: The given ranking ``pi``.
+        induced_positions: Rank of every tuple of the relation under the
+            candidate scoring function (length ``n``).
+    """
+    induced_positions = np.asarray(induced_positions, dtype=int).ravel()
+    if induced_positions.shape[0] != ranking.num_tuples:
+        raise ValueError("induced_positions length must equal the relation size")
+    ranked, given = _ranked_indices_and_positions(ranking)
+    return int(np.sum(np.abs(induced_positions[ranked] - given)))
+
+
+def per_tuple_position_error(ranking: Ranking, induced_positions: np.ndarray) -> float:
+    """Average position error per ranked tuple (the y-axis of Figure 3)."""
+    k = ranking.k
+    if k == 0:
+        return 0.0
+    return position_error(ranking, induced_positions) / k
+
+
+def position_error_of_function(
+    ranking: Ranking,
+    function: LinearScoringFunction,
+    matrix: np.ndarray,
+    tie_eps: float = 0.0,
+) -> int:
+    """Position error of a concrete scoring function on an attribute matrix."""
+    return position_error(ranking, function.induced_positions(matrix, tie_eps))
+
+
+def inversions(ranking: Ranking, scores: np.ndarray, tie_eps: float = 0.0) -> int:
+    """Number of inverted pairs among the ranked tuples.
+
+    A pair ``(r, s)`` with ``pi(r) < pi(s)`` counts as inverted when the score
+    of ``s`` beats the score of ``r`` by more than ``tie_eps``.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    ranked, given = _ranked_indices_and_positions(ranking)
+    count = 0
+    for a in range(len(ranked)):
+        for b in range(len(ranked)):
+            if given[a] < given[b] and scores[ranked[b]] - scores[ranked[a]] > tie_eps:
+                count += 1
+    return count
+
+
+def kendall_tau(ranking: Ranking, scores: np.ndarray, tie_eps: float = 0.0) -> float:
+    """Kendall's tau between the given ranking and the score order (top-k only).
+
+    Pairs tied in either ranking are ignored in both the numerator and the
+    normalizer (tau-a over the strictly ordered pairs).
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    ranked, given = _ranked_indices_and_positions(ranking)
+    concordant = 0
+    discordant = 0
+    for a in range(len(ranked)):
+        for b in range(a + 1, len(ranked)):
+            if given[a] == given[b]:
+                continue
+            score_diff = scores[ranked[a]] - scores[ranked[b]]
+            if abs(score_diff) <= tie_eps:
+                continue
+            given_says_a_first = given[a] < given[b]
+            scores_say_a_first = score_diff > 0
+            if given_says_a_first == scores_say_a_first:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / total
+
+
+def weighted_position_error(
+    ranking: Ranking,
+    induced_positions: np.ndarray,
+    weight_of_position: Callable[[int], float] | None = None,
+) -> float:
+    """Position error with a per-position weight (heavier penalty near the top).
+
+    Args:
+        ranking: The given ranking.
+        induced_positions: Ranks under the candidate function.
+        weight_of_position: Maps a given position ``1..k`` to a weight; the
+            default ``1 / position`` penalizes mistakes at the top more, one of
+            the "variations" the paper says RankHow supports.
+    """
+    if weight_of_position is None:
+        weight_of_position = lambda position: 1.0 / position  # noqa: E731
+    induced_positions = np.asarray(induced_positions, dtype=int).ravel()
+    ranked, given = _ranked_indices_and_positions(ranking)
+    total = 0.0
+    for index, position in zip(ranked, given):
+        total += weight_of_position(int(position)) * abs(
+            int(induced_positions[index]) - int(position)
+        )
+    return total
+
+
+def evaluate_function(
+    ranking: Ranking,
+    function: LinearScoringFunction,
+    matrix: np.ndarray,
+    tie_eps: float = 0.0,
+) -> dict[str, float]:
+    """Convenience bundle of every metric for one candidate function."""
+    scores = function.scores(matrix)
+    positions = induced_ranks(scores, tie_eps)
+    error = position_error(ranking, positions)
+    return {
+        "position_error": float(error),
+        "per_tuple_error": float(error) / max(ranking.k, 1),
+        "inversions": float(inversions(ranking, scores, tie_eps)),
+        "kendall_tau": kendall_tau(ranking, scores, tie_eps),
+        "weighted_position_error": weighted_position_error(ranking, positions),
+    }

@@ -1,0 +1,196 @@
+"""Numerical-imprecision handling (Section V-A).
+
+Floating-point MILP solvers accept constraints that are only "close enough" to
+satisfied; in a ranking context even a tiny violation can flip the order of
+two tuples.  The paper's remedy has three parts, all implemented here:
+
+* **Threshold construction** (Lemmas 2 and 3): given the tie tolerance ``eps``
+  and the solver's precision tolerance ``tau``, set ``eps2 = eps - tau`` and
+  ``eps1 = eps + tau+`` so an indicator can never be considered both 0 and 1
+  and the solver never admits a false positive.
+* **Exact verification**: re-evaluate a candidate weight vector with exact
+  rational arithmetic (:class:`fractions.Fraction`, the Python analogue of the
+  paper's BigDecimal check) and compare the exact position error with the
+  error the solver believes it achieved.
+* **Tau search**: a binary-search heuristic that finds a sufficiently large
+  ``tau`` by repeatedly solving and verifying.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.metrics import position_error
+from repro.core.problem import RankingProblem, ToleranceSettings
+
+__all__ = [
+    "VerificationReport",
+    "exact_scores",
+    "exact_induced_positions",
+    "exact_position_error",
+    "verify_weights",
+    "choose_epsilons",
+    "find_tau",
+]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of exact-arithmetic verification of a candidate solution.
+
+    Attributes:
+        exact_error: Position error computed with exact rational arithmetic.
+        claimed_error: Error the solver reported (``None`` if not supplied).
+        float_error: Error recomputed with ordinary floating point.
+        consistent: ``True`` when the claimed error matches the exact error.
+    """
+
+    exact_error: int
+    claimed_error: int | None
+    float_error: int
+    consistent: bool
+
+
+def exact_scores(matrix: np.ndarray, weights: np.ndarray) -> list[Fraction]:
+    """Exact scores ``w . x`` for every row, as rationals.
+
+    ``Fraction(float)`` is exact (every binary float is a rational), so this
+    reproduces precisely the value an infinitely precise evaluator would
+    compute from the stored floating-point inputs.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    weights = np.asarray(weights, dtype=float).ravel()
+    fraction_weights = [Fraction(w) for w in weights]
+    scores: list[Fraction] = []
+    for row in matrix:
+        total = Fraction(0)
+        for value, weight in zip(row, fraction_weights):
+            total += Fraction(float(value)) * weight
+        scores.append(total)
+    return scores
+
+
+def exact_induced_positions(
+    scores: list[Fraction], tie_eps: float = 0.0
+) -> np.ndarray:
+    """Competition ranks from exact scores with an exact tie tolerance."""
+    eps = Fraction(float(tie_eps))
+    n = len(scores)
+    positions = np.zeros(n, dtype=int)
+    for r in range(n):
+        beats = sum(1 for s in range(n) if scores[s] - scores[r] > eps)
+        positions[r] = beats + 1
+    return positions
+
+
+def exact_position_error(
+    problem: RankingProblem, weights: np.ndarray
+) -> int:
+    """Exact position error of a weight vector on a problem instance."""
+    scores = exact_scores(problem.matrix, weights)
+    positions = exact_induced_positions(scores, problem.tolerances.tie_eps)
+    return position_error(problem.ranking, positions)
+
+
+def verify_weights(
+    problem: RankingProblem,
+    weights: np.ndarray,
+    claimed_error: int | None = None,
+) -> VerificationReport:
+    """Verify a solver-produced weight vector with exact arithmetic.
+
+    A solution "fails verification" (``consistent == False``) exactly when the
+    solver's claimed error differs from the error the weight vector actually
+    achieves -- the false positives that Table III demonstrates for too-small
+    ``eps1`` values.
+    """
+    exact_error = exact_position_error(problem, weights)
+    float_error = problem.error_of(weights)
+    consistent = claimed_error is None or int(claimed_error) == exact_error
+    return VerificationReport(
+        exact_error=exact_error,
+        claimed_error=None if claimed_error is None else int(claimed_error),
+        float_error=float_error,
+        consistent=consistent,
+    )
+
+
+def choose_epsilons(tie_eps: float, tau: float) -> ToleranceSettings:
+    """Apply the paper's recipe ``eps2 = eps - tau``, ``eps1 = eps + tau+``."""
+    return ToleranceSettings.from_precision(tie_eps=tie_eps, tau=tau)
+
+
+def find_tau(
+    problem: RankingProblem,
+    solve_and_claim: Callable[[ToleranceSettings], tuple[np.ndarray, int]],
+    tau_low: float = 1e-12,
+    tau_high: float = 1e-2,
+    max_steps: int = 20,
+) -> float:
+    """Binary-search the precision tolerance ``tau`` (Section V-A heuristic).
+
+    Args:
+        problem: The OPT instance.
+        solve_and_claim: Callback that solves the problem under the supplied
+            tolerance settings and returns ``(weights, claimed_error)``.
+        tau_low: Smallest tau to consider.
+        tau_high: Largest tau to consider.
+        max_steps: Binary-search iterations.
+
+    Returns:
+        The smallest tested ``tau`` whose solution passed exact verification.
+        Falls back to ``tau_high`` when even the largest value fails.
+    """
+    if tau_low <= 0 or tau_high <= tau_low:
+        raise ValueError("need 0 < tau_low < tau_high")
+
+    def passes(tau: float) -> bool:
+        settings = choose_epsilons(problem.tolerances.tie_eps, tau)
+        weights, claimed = solve_and_claim(settings)
+        return verify_weights(
+            problem.with_tolerances(settings), weights, claimed
+        ).consistent
+
+    low, high = tau_low, tau_high
+    best = tau_high
+    if passes(high):
+        best = high
+    else:
+        return tau_high
+    for _ in range(max_steps):
+        mid = float(np.sqrt(low * high))  # geometric midpoint for scale search
+        if passes(mid):
+            best = mid
+            high = mid
+        else:
+            low = mid
+        if high / low < 1.5:
+            break
+    return best
+
+
+def has_numerical_issue(
+    problem: RankingProblem,
+    weights: np.ndarray,
+    claimed_error: int,
+) -> bool:
+    """True when a claimed solution fails exact verification (a false positive)."""
+    return not verify_weights(problem, weights, claimed_error).consistent
+
+
+def ranked_score_gaps(problem: RankingProblem, weights: np.ndarray) -> np.ndarray:
+    """Exact score gaps between consecutively ranked tuples (diagnostics).
+
+    Useful for deciding whether a dataset needs a larger tie tolerance: gaps
+    smaller than the solver tolerance are where imprecision flips orders.
+    """
+    scores = exact_scores(problem.matrix, weights)
+    ranked = problem.ranking.ranked_indices()
+    gaps = []
+    for first, second in zip(ranked[:-1], ranked[1:]):
+        gaps.append(float(scores[first] - scores[second]))
+    return np.asarray(gaps, dtype=float)

@@ -1,0 +1,226 @@
+"""The RankHow exact solver (Sections III and V).
+
+:class:`RankHow` is the user-facing facade: it builds the Equation (2) MILP
+for a :class:`~repro.core.problem.RankingProblem`, applies the Section V-B
+indicator elimination, solves the program with the branch-and-bound substrate
+(:mod:`repro.solvers`), optionally verifies the result with exact arithmetic,
+and returns a :class:`~repro.core.result.SynthesisResult`.
+
+The solver can also be restricted to a box in weight space (``cell_bounds``),
+which is how SYM-GD reuses it for local solves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.formulation import RankHowFormulation
+from repro.core.precision import verify_weights
+from repro.core.problem import RankingProblem
+from repro.core.result import SynthesisResult
+from repro.solvers.branch_and_bound import BranchAndBoundSolver, SolverOptions
+from repro.solvers.milp import MILPStatus
+
+__all__ = ["RankHowOptions", "RankHow"]
+
+
+@dataclass
+class RankHowOptions:
+    """Configuration of the exact solver.
+
+    Attributes:
+        time_limit: Wall-clock limit in seconds for the MILP solve.
+        node_limit: Branch-and-bound node limit.
+        lp_method: LP backend ("scipy", "simplex", or "auto").
+        eliminate_dominated: Apply the Section V-B indicator elimination.
+        verify: Run exact-arithmetic verification on the returned weights.
+        error_weights: Optional per-tuple objective weights (tuple index ->
+            weight); defaults to plain position error.
+        search: Branch-and-bound node order ("best_first" or "depth_first").
+        warm_start_strategy: How to obtain an initial incumbent when the caller
+            does not supply one.  Commercial MILP solvers lean heavily on
+            primal heuristics to find strong incumbents early; this package's
+            branch-and-bound substrate is much simpler, so by default
+            (``"symgd"``) it borrows the paper's own SYM-GD descent as its
+            primal heuristic before starting the exact search.  Other choices:
+            ``"ordinal_regression"``, ``"uniform"``, ``"none"``.
+    """
+
+    time_limit: float | None = None
+    node_limit: int = 50000
+    lp_method: str = "scipy"
+    eliminate_dominated: bool = True
+    verify: bool = True
+    error_weights: dict[int, float] | None = None
+    search: str = "best_first"
+    warm_start_strategy: str = "symgd"
+    extra: dict = field(default_factory=dict)
+
+
+class RankHow:
+    """Exact OPT solver based on the MILP formulation of Equation (2)."""
+
+    def __init__(self, options: RankHowOptions | None = None) -> None:
+        self.options = options or RankHowOptions()
+
+    def solve(
+        self,
+        problem: RankingProblem,
+        cell_bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        warm_start: np.ndarray | None = None,
+    ) -> SynthesisResult:
+        """Solve OPT (optionally restricted to a weight-space cell).
+
+        Args:
+            problem: The problem instance.
+            cell_bounds: Optional ``(lower, upper)`` box on the weights.
+            warm_start: Optional weight vector used as the initial incumbent.
+
+        Returns:
+            A :class:`SynthesisResult`; ``optimal`` is ``True`` only when the
+            branch-and-bound proved optimality within its limits.
+        """
+        options = self.options
+        start = time.perf_counter()
+        formulation = RankHowFormulation(
+            problem,
+            eliminate_dominated=options.eliminate_dominated,
+            error_weights=options.error_weights,
+            cell_bounds=cell_bounds,
+        )
+
+        initial_incumbent = None
+        if warm_start is None and options.warm_start_strategy != "none":
+            warm_start = self._warm_start_weights(problem, cell_bounds)
+        if warm_start is not None:
+            initial_incumbent = formulation.incumbent_from_weights(
+                np.asarray(warm_start, dtype=float)
+            )
+
+        gap_tolerance = 1.0 - 1e-6 if options.error_weights is None else 1e-6
+        solver_options = SolverOptions(
+            time_limit=options.time_limit,
+            node_limit=options.node_limit,
+            lp_method=options.lp_method,
+            incumbent_callback=formulation.incumbent_callback,
+            initial_incumbent=initial_incumbent,
+            search=options.search,
+            # With the plain (integer-valued) objective a gap below 1 already
+            # proves optimality; weighted objectives need a tight gap.
+            gap_tolerance=gap_tolerance,
+        )
+        solver = BranchAndBoundSolver(solver_options)
+        solution = solver.solve(formulation.model)
+        elapsed = time.perf_counter() - start
+
+        if not solution.has_solution:
+            return SynthesisResult(
+                weights=np.full(problem.num_attributes, np.nan),
+                attributes=list(problem.attributes),
+                error=-1,
+                objective=float("inf"),
+                optimal=False,
+                method="rankhow",
+                solve_time=elapsed,
+                nodes=solution.nodes,
+                diagnostics={
+                    "status": solution.status.value,
+                    "k": problem.k,
+                    "indicators": formulation.num_indicator_variables,
+                    "eliminated": formulation.num_eliminated_indicators,
+                },
+            )
+
+        weights = formulation.weights_from(solution.x)
+        objective = formulation.objective_error(solution.x)
+        true_error = problem.error_of(weights)
+        optimal = solution.status is MILPStatus.OPTIMAL
+        # The MILP's eps1/eps2 semantics can disagree with the tie-tolerance
+        # ranking for score differences inside the safety gap; when the warm
+        # start achieves a lower *true* error than the MILP incumbent, return
+        # it (the solver reports the best solution it knows about).
+        if warm_start is not None:
+            warm = np.asarray(warm_start, dtype=float)
+            warm_error = problem.error_of(warm)
+            if warm_error < true_error:
+                weights = warm
+                true_error = warm_error
+                optimal = False
+        verified: bool | None = None
+        if options.verify:
+            verified = verify_weights(problem, weights, int(round(objective))).consistent
+
+        return SynthesisResult(
+            weights=weights,
+            attributes=list(problem.attributes),
+            error=int(true_error),
+            objective=float(objective),
+            optimal=optimal,
+            method="rankhow",
+            solve_time=elapsed,
+            nodes=solution.nodes,
+            verified=verified,
+            diagnostics={
+                "status": solution.status.value,
+                "best_bound": solution.best_bound,
+                "gap": solution.gap,
+                "k": problem.k,
+                "indicators": formulation.num_indicator_variables,
+                "eliminated": formulation.num_eliminated_indicators,
+                "milp_objective": float(objective),
+            },
+        )
+
+
+    def _warm_start_weights(
+        self,
+        problem: RankingProblem,
+        cell_bounds: tuple[np.ndarray, np.ndarray] | None,
+    ) -> np.ndarray | None:
+        """Compute an initial incumbent weight vector from a primal heuristic."""
+        strategy = self.options.warm_start_strategy
+        if strategy == "symgd":
+            # Lazy import: symgd itself builds on RankHow (with explicit warm
+            # starts, so there is no recursion).
+            from repro.core.symgd import SymGD, SymGDOptions
+
+            budget = self.options.time_limit
+            heuristic_options = SymGDOptions(
+                cell_size=0.1,
+                adaptive=False,
+                max_iterations=10,
+                time_limit=None if budget is None else max(budget * 0.25, 1.0),
+                solver_options=RankHowOptions(
+                    node_limit=500,
+                    lp_method=self.options.lp_method,
+                    verify=False,
+                    warm_start_strategy="none",
+                ),
+            )
+            seed = SymGD(heuristic_options).solve(problem).weights
+        else:
+            from repro.core.seeds import get_seed_strategy
+
+            try:
+                seed = get_seed_strategy(strategy)(problem)
+            except (ValueError, KeyError):
+                return None
+        if not np.all(np.isfinite(seed)):
+            return None
+        if cell_bounds is not None:
+            lower, upper = cell_bounds
+            if np.any(seed < np.asarray(lower) - 1e-9) or np.any(
+                seed > np.asarray(upper) + 1e-9
+            ):
+                return None
+        return seed
+
+
+def solve_exact(
+    problem: RankingProblem, options: RankHowOptions | None = None
+) -> SynthesisResult:
+    """Convenience function: solve a problem with default (or given) options."""
+    return RankHow(options).solve(problem)

@@ -1,0 +1,157 @@
+"""The "given ranking" abstraction (Definition 1 of the paper).
+
+A ranking assigns each tuple of a relation either a positive integer position
+or the bottom symbol (here the constant :data:`UNRANKED`).  The class
+validates the well-formedness conditions of Definition 1:
+
+* exactly ``k`` tuples carry an integer position,
+* some tuple has position 1,
+* there are no excessive gaps: a tuple at position ``i`` has at least
+  ``i - 1`` tuples ranked strictly above it,
+* every other tuple is unranked (``⊥``), meaning its order does not matter
+  as long as it is not placed above any ranked tuple.
+
+Ties are allowed: ``[1, 1, 3, 3]`` means two tuples share the top spot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["UNRANKED", "Ranking"]
+
+#: Sentinel for the bottom symbol ``⊥`` (tuple not part of the ranked prefix).
+UNRANKED: int = 0
+
+
+class Ranking:
+    """A validated top-k ranking over ``n`` tuples."""
+
+    def __init__(self, positions: Sequence[int] | np.ndarray, validate: bool = True):
+        """Create a ranking.
+
+        Args:
+            positions: Length-``n`` sequence; entry ``i`` is the position of
+                tuple ``i`` (1-based) or :data:`UNRANKED` for ``⊥``.
+            validate: Check Definition 1; disable only for trusted callers.
+        """
+        array = np.asarray(positions, dtype=int).copy()
+        if array.ndim != 1:
+            raise ValueError("positions must be one-dimensional")
+        if np.any(array < 0):
+            raise ValueError("positions must be >= 0 (0 denotes ⊥)")
+        self._positions = array
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        ranked = self._positions[self._positions != UNRANKED]
+        if ranked.size == 0:
+            raise ValueError("a ranking must rank at least one tuple")
+        if np.min(ranked) != 1:
+            raise ValueError("the lowest integer position must be 1")
+        for position in np.unique(ranked):
+            strictly_above = int(np.sum(ranked < position))
+            if strictly_above < position - 1:
+                raise ValueError(
+                    f"excessive gap: position {position} has only "
+                    f"{strictly_above} tuples ranked above it"
+                )
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_ordered_indices(
+        cls, ordered: Sequence[int], num_tuples: int
+    ) -> "Ranking":
+        """Ranking placing ``ordered[0]`` at position 1, ``ordered[1]`` at 2, ...
+
+        Tuples not listed are unranked.
+        """
+        positions = np.full(num_tuples, UNRANKED, dtype=int)
+        for rank, index in enumerate(ordered, start=1):
+            if positions[index] != UNRANKED:
+                raise ValueError(f"tuple {index} listed twice")
+            positions[index] = rank
+        return cls(positions)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Copy of the position vector (0 = ⊥)."""
+        return self._positions.copy()
+
+    @property
+    def num_tuples(self) -> int:
+        return int(self._positions.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    @property
+    def k(self) -> int:
+        """Number of ranked tuples."""
+        return int(np.sum(self._positions != UNRANKED))
+
+    def position_of(self, index: int) -> int:
+        """Position of tuple ``index`` (:data:`UNRANKED` if it is ⊥)."""
+        return int(self._positions[index])
+
+    def is_ranked(self, index: int) -> bool:
+        return self._positions[index] != UNRANKED
+
+    def ranked_indices(self) -> np.ndarray:
+        """Indices of the ranked tuples, sorted by (position, index)."""
+        ranked = np.where(self._positions != UNRANKED)[0]
+        order = np.lexsort((ranked, self._positions[ranked]))
+        return ranked[order]
+
+    def unranked_indices(self) -> np.ndarray:
+        return np.where(self._positions == UNRANKED)[0]
+
+    def has_ties(self) -> bool:
+        ranked = self._positions[self._positions != UNRANKED]
+        return len(np.unique(ranked)) < len(ranked)
+
+    def tie_groups(self) -> list[list[int]]:
+        """Groups of tuple indices sharing a position (singletons included)."""
+        groups: dict[int, list[int]] = {}
+        for index, position in enumerate(self._positions):
+            if position != UNRANKED:
+                groups.setdefault(int(position), []).append(index)
+        return [groups[p] for p in sorted(groups)]
+
+    def restrict_to_top(self, new_k: int) -> "Ranking":
+        """Keep only tuples at positions ``<= new_k``; the rest become ⊥."""
+        if new_k < 1:
+            raise ValueError("new_k must be >= 1")
+        positions = self._positions.copy()
+        positions[positions > new_k] = UNRANKED
+        return Ranking(positions)
+
+    def as_dict(self) -> dict[int, int]:
+        """Mapping tuple index -> position for the ranked tuples only."""
+        return {
+            int(i): int(p)
+            for i, p in enumerate(self._positions)
+            if p != UNRANKED
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ranking):
+            return NotImplemented
+        return np.array_equal(self._positions, other._positions)
+
+    def __hash__(self) -> int:
+        return hash(self._positions.tobytes())
+
+    def __repr__(self) -> str:
+        ranked = self.ranked_indices()
+        preview = ", ".join(
+            f"{int(i)}@{int(self._positions[i])}" for i in ranked[:8]
+        )
+        suffix = ", ..." if len(ranked) > 8 else ""
+        return f"Ranking(k={self.k}, n={self.num_tuples}, [{preview}{suffix}])"

@@ -1,0 +1,81 @@
+"""Result objects returned by every synthesis algorithm in this package.
+
+Exact RankHow, SYM-GD, TREE, and every baseline return a
+:class:`SynthesisResult` so that the evaluation harness and the examples can
+treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.scoring import LinearScoringFunction
+
+__all__ = ["SynthesisResult"]
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of synthesizing a scoring function for one problem instance.
+
+    Attributes:
+        weights: The synthesized weight vector (aligned with ``attributes``).
+        attributes: Ranking attribute names.
+        error: Position-based error of ``weights`` on the given ranking,
+            evaluated with the problem's tie tolerance.
+        objective: The solver's internal objective value (may differ slightly
+            from ``error`` when the solver's eps1/eps2 thresholds differ from
+            the tie tolerance; the gap is what verification checks).
+        optimal: Whether optimality was proven.
+        method: Name of the algorithm that produced the result.
+        solve_time: Wall-clock seconds spent.
+        nodes: Branch-and-bound nodes (or an algorithm-specific work counter).
+        iterations: Outer iterations (SYM-GD rounds, boosting rounds, samples).
+        verified: ``True``/``False`` when exact verification ran, else ``None``.
+        diagnostics: Free-form extra information (indicator counts, seeds, ...).
+    """
+
+    weights: np.ndarray
+    attributes: list[str]
+    error: int
+    objective: float
+    optimal: bool
+    method: str
+    solve_time: float = 0.0
+    nodes: int = 0
+    iterations: int = 0
+    verified: bool | None = None
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def scoring_function(self) -> LinearScoringFunction:
+        """The synthesized weights wrapped as a scoring function.
+
+        Wrapped without re-normalization so that baselines with negative or
+        unnormalized weights round-trip faithfully.
+        """
+        return LinearScoringFunction(self.weights, self.attributes, normalize=False)
+
+    @property
+    def per_tuple_error(self) -> float:
+        """Average error per ranked tuple (requires ``k`` in diagnostics)."""
+        k = self.diagnostics.get("k")
+        if not k:
+            return float(self.error)
+        return float(self.error) / float(k)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "optimal" if self.optimal else "feasible"
+        return (
+            f"[{self.method}] error={self.error} ({status}), "
+            f"time={self.solve_time:.2f}s, f(x) = {self.scoring_function.describe()}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SynthesisResult(method={self.method!r}, error={self.error}, "
+            f"optimal={self.optimal}, time={self.solve_time:.3f}s)"
+        )

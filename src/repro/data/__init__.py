@@ -1,0 +1,53 @@
+"""Relational substrate and dataset generators used by the reproduction.
+
+The paper evaluates on two real datasets (NBA player-seasons and CSRankings)
+and nine large synthetic datasets.  The real data cannot be redistributed, so
+this package provides faithful synthetic stand-ins (see DESIGN.md for the
+substitution rationale) plus the uniform / correlated / anti-correlated
+generators from the skyline literature that the paper reuses.
+"""
+
+from repro.data.relation import Relation
+from repro.data.rankings import (
+    ranking_from_scores,
+    ranking_from_scoring_function,
+    top_k_positions,
+)
+from repro.data.synthetic import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_synthetic,
+    generate_uniform,
+)
+from repro.data.nba import (
+    NBA_RANKING_ATTRIBUTES,
+    generate_nba_dataset,
+    mvp_panel_ranking,
+    per_scores,
+)
+from repro.data.csrankings import (
+    CSRANKINGS_AREAS,
+    csrankings_default_scores,
+    generate_csrankings_dataset,
+)
+from repro.data.derived import add_derived_attributes, add_power_attributes
+
+__all__ = [
+    "Relation",
+    "ranking_from_scores",
+    "ranking_from_scoring_function",
+    "top_k_positions",
+    "generate_uniform",
+    "generate_correlated",
+    "generate_anticorrelated",
+    "generate_synthetic",
+    "NBA_RANKING_ATTRIBUTES",
+    "generate_nba_dataset",
+    "mvp_panel_ranking",
+    "per_scores",
+    "CSRANKINGS_AREAS",
+    "csrankings_default_scores",
+    "generate_csrankings_dataset",
+    "add_derived_attributes",
+    "add_power_attributes",
+]

@@ -1,0 +1,237 @@
+"""Synthetic NBA-like dataset, PER-style ranking, and MVP panel simulation.
+
+The paper evaluates on basketball-reference player-season statistics (22 840
+tuples, seasons 1979/80 - 2022/23) with ranking attributes PTS, REB, AST, STL,
+BLK, FG%, 3P%, FT%, and two given rankings:
+
+* ``MP * PER`` -- minutes played times the Player Efficiency Rating, a
+  complicated non-linear formula over additional attributes, and
+* the MVP panel ranking -- 100 panelists each submit a top-5 ballot worth
+  10/7/5/3/1 points; players are ranked by total points (with possible ties).
+
+Real basketball-reference data cannot be redistributed, so this module
+generates a statistically similar dataset: players carry a latent overall
+quality and a role (guard / wing / big) that shapes which box-score statistics
+they accumulate, minutes played correlate with quality, and shooting
+percentages are noisy around role-specific baselines.  The PER-style formula
+and the voting simulation then provide the same two kinds of opaque,
+non-linear given rankings the paper uses.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ranking import Ranking
+from repro.data.rankings import ranking_from_scores, top_k_positions
+from repro.data.relation import Relation
+
+__all__ = [
+    "NBA_RANKING_ATTRIBUTES",
+    "NBA_ALL_ATTRIBUTES",
+    "generate_nba_dataset",
+    "per_scores",
+    "mp_per_ranking",
+    "MVPVote",
+    "mvp_panel_ranking",
+]
+
+#: The eight default ranking attributes used throughout Section VI.
+NBA_RANKING_ATTRIBUTES: list[str] = [
+    "PTS",
+    "REB",
+    "AST",
+    "STL",
+    "BLK",
+    "FGP",
+    "TPP",
+    "FTP",
+]
+
+#: All numeric attributes produced by the generator (ranking attributes plus
+#: the auxiliary ones the PER formula needs).
+NBA_ALL_ATTRIBUTES: list[str] = NBA_RANKING_ATTRIBUTES + ["MP", "TOV", "GP"]
+
+_ROLES = ("guard", "wing", "big")
+
+
+@dataclass
+class _RoleProfile:
+    """Per-role mean statistics for an average starter-level player."""
+
+    pts: float
+    reb: float
+    ast: float
+    stl: float
+    blk: float
+    fgp: float
+    tpp: float
+    ftp: float
+    tov: float
+
+
+_ROLE_PROFILES: dict[str, _RoleProfile] = {
+    "guard": _RoleProfile(16.0, 3.5, 6.0, 1.3, 0.3, 0.45, 0.36, 0.82, 2.4),
+    "wing": _RoleProfile(15.0, 5.5, 3.0, 1.0, 0.6, 0.47, 0.37, 0.78, 1.9),
+    "big": _RoleProfile(14.0, 9.5, 1.8, 0.7, 1.5, 0.55, 0.25, 0.68, 1.8),
+}
+
+
+def generate_nba_dataset(
+    num_players: int = 2000,
+    seed: int = 7,
+) -> Relation:
+    """Generate a synthetic NBA player-season relation.
+
+    Args:
+        num_players: Number of player-season tuples.
+        seed: Random seed (all experiments fix this for reproducibility).
+
+    Returns:
+        A :class:`Relation` with a ``PLR`` identifier column, the eight
+        ranking attributes, and the auxiliary ``MP`` / ``TOV`` / ``GP``
+        columns used by the PER formula.
+    """
+    rng = np.random.default_rng(seed)
+    roles = rng.choice(len(_ROLES), size=num_players, p=[0.38, 0.34, 0.28])
+    # Latent overall quality, skewed so that stars are rare.
+    quality = rng.beta(2.0, 5.0, size=num_players)
+
+    columns: dict[str, np.ndarray] = {name: np.zeros(num_players) for name in NBA_ALL_ATTRIBUTES}
+    names = []
+    for i in range(num_players):
+        profile = _ROLE_PROFILES[_ROLES[roles[i]]]
+        q = quality[i]
+        scale = 0.35 + 1.4 * q  # stars roughly double an average starter
+        noise = rng.normal(1.0, 0.12, size=6).clip(0.6, 1.5)
+        columns["PTS"][i] = max(profile.pts * scale * noise[0], 0.5)
+        columns["REB"][i] = max(profile.reb * scale * noise[1], 0.3)
+        columns["AST"][i] = max(profile.ast * scale * noise[2], 0.2)
+        columns["STL"][i] = max(profile.stl * (0.7 + 0.8 * q) * noise[3], 0.1)
+        columns["BLK"][i] = max(profile.blk * (0.7 + 0.8 * q) * noise[4], 0.05)
+        columns["TOV"][i] = max(profile.tov * (0.7 + 0.9 * q) * noise[5], 0.2)
+        columns["FGP"][i] = float(
+            np.clip(profile.fgp + 0.05 * (q - 0.3) + rng.normal(0, 0.03), 0.3, 0.72)
+        )
+        columns["TPP"][i] = float(
+            np.clip(profile.tpp + 0.04 * (q - 0.3) + rng.normal(0, 0.04), 0.0, 0.55)
+        )
+        columns["FTP"][i] = float(
+            np.clip(profile.ftp + 0.05 * (q - 0.3) + rng.normal(0, 0.04), 0.4, 0.95)
+        )
+        columns["MP"][i] = float(np.clip(12.0 + 26.0 * q + rng.normal(0, 3.0), 5.0, 40.0))
+        columns["GP"][i] = float(np.clip(rng.normal(62, 14), 10, 82))
+        names.append(f"player_{i:05d}")
+
+    columns_out: dict[str, np.ndarray] = {"PLR": np.asarray(names)}
+    columns_out.update({name: columns[name] for name in NBA_ALL_ATTRIBUTES})
+    return Relation(columns_out, key="PLR")
+
+
+def per_scores(relation: Relation) -> np.ndarray:
+    """A PER-style efficiency score for every player.
+
+    The real Player Efficiency Rating is a long linear-ish formula over
+    per-minute statistics with pace and league adjustments.  This simplified
+    variant keeps the ingredients that matter for the reproduction: it is a
+    *non-linear* function (per-minute normalization, shooting-percentage
+    interactions) over attributes partly outside the ranking attribute set, so
+    a linear function of the eight ranking attributes cannot represent it
+    exactly.
+    """
+    pts = relation.column("PTS").astype(float)
+    reb = relation.column("REB").astype(float)
+    ast = relation.column("AST").astype(float)
+    stl = relation.column("STL").astype(float)
+    blk = relation.column("BLK").astype(float)
+    fgp = relation.column("FGP").astype(float)
+    ftp = relation.column("FTP").astype(float)
+    tov = relation.column("TOV").astype(float)
+    mp = relation.column("MP").astype(float)
+
+    # Estimated true-shooting style efficiency bonus.
+    shooting_bonus = pts * (fgp - 0.45) + 0.5 * pts * (ftp - 0.7)
+    raw = (
+        pts
+        + 0.85 * reb
+        + 1.1 * ast
+        + 1.6 * stl
+        + 1.4 * blk
+        - 1.3 * tov
+        + shooting_bonus
+    )
+    per = 15.0 * raw / np.maximum(mp, 1.0) + 0.2 * raw
+    return per
+
+
+def mp_per_ranking(relation: Relation, k: int, tie_eps: float = 0.0) -> Ranking:
+    """The paper's default NBA given ranking: sort by ``MP * PER``."""
+    scores = relation.column("MP").astype(float) * per_scores(relation)
+    return ranking_from_scores(scores, k, tie_eps)
+
+
+@dataclass
+class MVPVote:
+    """Aggregated outcome of the simulated MVP vote."""
+
+    candidate_indices: np.ndarray
+    points: np.ndarray
+    ranking: Ranking
+
+
+def mvp_panel_ranking(
+    relation: Relation,
+    num_voters: int = 100,
+    num_candidates: int = 13,
+    perception_noise: float = 0.08,
+    seed: int = 11,
+) -> MVPVote:
+    """Simulate the MVP voting protocol of Example 1.
+
+    Each of ``num_voters`` panelists perceives every player's value as the
+    MP*PER score perturbed by multiplicative noise, then casts a top-5 ballot
+    worth 10/7/5/3/1 points.  Players are ranked by total points; equal point
+    totals produce ties, mirroring the 2022-23 ballot where the last two vote
+    recipients were tied.
+
+    Returns:
+        An :class:`MVPVote` whose ``ranking`` is defined over the *candidate
+        subset* (the players that received at least one vote, padded to
+        ``num_candidates`` by top perceived value), matching how the paper's
+        case study restricts the relation to players with votes.
+    """
+    rng = np.random.default_rng(seed)
+    value = relation.column("MP").astype(float) * per_scores(relation)
+    # Panelists only seriously consider a shortlist of elite players.
+    shortlist_size = max(num_candidates * 2, 20)
+    shortlist = np.argsort(-value)[:shortlist_size]
+
+    ballot_points = np.array([10.0, 7.0, 5.0, 3.0, 1.0])
+    totals = np.zeros(relation.num_tuples)
+    for _ in range(num_voters):
+        noise = rng.lognormal(mean=0.0, sigma=perception_noise, size=shortlist_size)
+        perceived = value[shortlist] * noise
+        ballot = shortlist[np.argsort(-perceived)[:5]]
+        totals[ballot] += ballot_points
+
+    voted = np.where(totals > 0)[0]
+    # Keep the strongest `num_candidates` candidates (by points, then value).
+    order = np.lexsort((-value[voted], -totals[voted]))
+    candidates = voted[order][:num_candidates]
+    if candidates.size < num_candidates:
+        extra = [i for i in shortlist if i not in set(candidates.tolist())]
+        candidates = np.concatenate(
+            [candidates, np.asarray(extra[: num_candidates - candidates.size], dtype=int)]
+        )
+
+    candidate_points = totals[candidates]
+    positions = top_k_positions(candidate_points, k=len(candidates), tie_eps=0.0)
+    ranking = Ranking(positions)
+    return MVPVote(
+        candidate_indices=np.asarray(candidates, dtype=int),
+        points=candidate_points,
+        ranking=ranking,
+    )

@@ -1,0 +1,119 @@
+"""Construction of "given rankings" from score vectors or scoring functions.
+
+The experiments never hand the synthesized ranking function the ground-truth
+scores -- only the resulting ranking.  These helpers produce that ranking:
+given any (possibly non-linear, possibly opaque) scorer, compute per-tuple
+scores, apply competition ranking with an optional tie tolerance, and keep the
+top-``k`` tuples as the ranked prefix (everything else becomes ``⊥``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.ranking import UNRANKED, Ranking
+from repro.data.relation import Relation
+
+__all__ = [
+    "competition_ranks",
+    "top_k_positions",
+    "ranking_from_scores",
+    "ranking_from_scoring_function",
+]
+
+
+def competition_ranks(scores: np.ndarray, tie_eps: float = 0.0) -> np.ndarray:
+    """Competition ("1224") ranks of all tuples, higher score = better rank.
+
+    Two scores within ``tie_eps`` of each other are tied; a tuple's rank is
+    one plus the number of tuples with a score more than ``tie_eps`` above its
+    own (Definition 2 of the paper).
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    n = scores.shape[0]
+    if tie_eps < 0:
+        raise ValueError("tie_eps must be non-negative")
+    if n == 0:
+        return np.zeros(0, dtype=int)
+    if tie_eps == 0.0:
+        order = np.argsort(-scores, kind="stable")
+        ranks = np.empty(n, dtype=int)
+        current_rank = 1
+        for position, index in enumerate(order):
+            if position > 0 and scores[index] < scores[order[position - 1]]:
+                current_rank = position + 1
+            ranks[index] = current_rank
+        return ranks
+    # O(n log n) with eps: sort, then count how many scores exceed s + eps.
+    sorted_scores = np.sort(scores)
+    # For each tuple, number of scores strictly greater than score + eps.
+    beats = n - np.searchsorted(sorted_scores, scores + tie_eps, side="right")
+    return beats.astype(int) + 1
+
+
+def top_k_positions(
+    scores: np.ndarray, k: int, tie_eps: float = 0.0
+) -> np.ndarray:
+    """Position vector (0 = ⊥) keeping exactly ``k`` ranked tuples.
+
+    Ties that straddle the ``k`` boundary are broken by tuple index so that
+    exactly ``k`` tuples remain ranked, as Definition 1 requires.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    n = scores.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    ranks = competition_ranks(scores, tie_eps)
+    order = np.lexsort((np.arange(n), ranks))
+    keep = order[:k]
+    positions = np.full(n, UNRANKED, dtype=int)
+    kept_ranks = ranks[keep]
+    # Re-normalize positions so that the kept prefix is a valid ranking even
+    # when a boundary tie group was cut: positions are recomputed as
+    # competition ranks *within* the kept set, preserving all internal ties.
+    for idx, rank in zip(keep, kept_ranks):
+        positions[idx] = int(np.sum(kept_ranks < rank)) + 1
+    return positions
+
+
+def ranking_from_scores(
+    scores: np.ndarray, k: int, tie_eps: float = 0.0
+) -> Ranking:
+    """Build a validated :class:`Ranking` from ground-truth scores."""
+    return Ranking(top_k_positions(scores, k, tie_eps))
+
+
+def ranking_from_scoring_function(
+    relation: Relation,
+    attributes: Sequence[str],
+    scorer: Callable[[np.ndarray], np.ndarray],
+    k: int,
+    tie_eps: float = 0.0,
+) -> Ranking:
+    """Build a ranking by applying ``scorer`` to the attribute matrix.
+
+    Args:
+        relation: Input relation.
+        attributes: Attributes fed to the scorer, in order.
+        scorer: Callable mapping the ``(n, m)`` matrix to ``(n,)`` scores.
+        k: Length of the ranked prefix.
+        tie_eps: Tie tolerance on the ground-truth scores.
+    """
+    matrix = relation.matrix(attributes)
+    scores = np.asarray(scorer(matrix), dtype=float).ravel()
+    if scores.shape[0] != relation.num_tuples:
+        raise ValueError("scorer returned a score vector of the wrong length")
+    return ranking_from_scores(scores, k, tie_eps)
+
+
+def power_sum_scorer(exponent: float) -> Callable[[np.ndarray], np.ndarray]:
+    """The paper's synthetic ranking functions ``sum_i A_i^p`` for p in 2..5."""
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+
+    def scorer(matrix: np.ndarray) -> np.ndarray:
+        return np.sum(np.power(matrix, exponent), axis=1)
+
+    return scorer

@@ -1,0 +1,209 @@
+"""A small in-memory, column-oriented relation.
+
+RankHow consumes a relation ``R`` with numeric ranking attributes
+``A1 .. Am`` plus optional non-numeric identifier columns (player names,
+institution names).  :class:`Relation` stores each column as a NumPy array,
+offers projection / selection / row subsetting, and produces the dense
+attribute matrix that the optimization layers work on.
+
+The class is deliberately simple -- it is a substrate, not a DBMS -- but it is
+the single place where column bookkeeping happens, so the rest of the code can
+refer to attributes by name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable-by-convention column store with named attributes."""
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence | np.ndarray],
+        key: str | None = None,
+    ) -> None:
+        """Create a relation from named columns.
+
+        Args:
+            columns: Mapping from attribute name to column values.  All columns
+                must have the same length.
+            key: Optional name of an identifier column (not used for ranking).
+        """
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in columns.items():
+            array = np.asarray(values)
+            if array.ndim != 1:
+                raise ValueError(f"column {name!r} must be one-dimensional")
+            if length is None:
+                length = array.shape[0]
+            elif array.shape[0] != length:
+                raise ValueError(
+                    f"column {name!r} has length {array.shape[0]}, expected {length}"
+                )
+            self._columns[name] = array
+        self._length = int(length or 0)
+        if key is not None and key not in self._columns:
+            raise KeyError(f"key column {key!r} not present")
+        self._key = key
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        attribute_names: Sequence[str] | None = None,
+    ) -> "Relation":
+        """Build a relation from a dense ``(n, m)`` matrix of numeric values."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be two-dimensional")
+        n_cols = matrix.shape[1]
+        if attribute_names is None:
+            attribute_names = [f"A{i + 1}" for i in range(n_cols)]
+        if len(attribute_names) != n_cols:
+            raise ValueError("attribute_names length must match matrix width")
+        return cls({name: matrix[:, j] for j, name in enumerate(attribute_names)})
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[float]],
+        attribute_names: Sequence[str],
+    ) -> "Relation":
+        """Build a relation from an iterable of row tuples."""
+        matrix = np.asarray(list(rows), dtype=float)
+        if matrix.size == 0:
+            matrix = matrix.reshape(0, len(attribute_names))
+        return cls.from_matrix(matrix, attribute_names)
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> list[str]:
+        """Names of all columns, in insertion order."""
+        return list(self._columns.keys())
+
+    @property
+    def key(self) -> str | None:
+        return self._key
+
+    @property
+    def num_tuples(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one column (a view; treat as read-only)."""
+        if name not in self._columns:
+            raise KeyError(f"unknown attribute {name!r}")
+        return self._columns[name]
+
+    def numeric_attribute_names(self) -> list[str]:
+        """Names of columns with a numeric dtype (candidates for ranking)."""
+        return [
+            name
+            for name, col in self._columns.items()
+            if np.issubdtype(col.dtype, np.number)
+        ]
+
+    def matrix(self, attributes: Sequence[str] | None = None) -> np.ndarray:
+        """Dense ``(n, m)`` float matrix over the requested attributes.
+
+        Args:
+            attributes: Attribute names to include; defaults to every numeric
+                column in insertion order.
+        """
+        if attributes is None:
+            attributes = self.numeric_attribute_names()
+        columns = []
+        for name in attributes:
+            col = self.column(name)
+            if not np.issubdtype(col.dtype, np.number):
+                raise TypeError(f"attribute {name!r} is not numeric")
+            columns.append(col.astype(float))
+        if not columns:
+            return np.zeros((self._length, 0))
+        return np.column_stack(columns)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return one tuple as a dict (useful for display / debugging)."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"row index {index} out of range")
+        return {name: col[index] for name, col in self._columns.items()}
+
+    # -- derived relations ------------------------------------------------------
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Keep only the named columns."""
+        key = self._key if self._key in attributes else None
+        return Relation({name: self.column(name) for name in attributes}, key=key)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Relation":
+        """Keep only the rows at the given positions (in the given order)."""
+        indices = np.asarray(indices, dtype=int)
+        return Relation(
+            {name: col[indices] for name, col in self._columns.items()},
+            key=self._key,
+        )
+
+    def head(self, count: int) -> "Relation":
+        """First ``count`` rows."""
+        return self.take(np.arange(min(count, self._length)))
+
+    def with_column(self, name: str, values: Sequence | np.ndarray) -> "Relation":
+        """Return a new relation with one extra (or replaced) column."""
+        array = np.asarray(values)
+        if array.shape[0] != self._length:
+            raise ValueError("new column length does not match relation size")
+        columns = dict(self._columns)
+        columns[name] = array
+        return Relation(columns, key=self._key)
+
+    def drop_duplicates(self, attributes: Sequence[str] | None = None) -> "Relation":
+        """Drop rows with identical values on the given attributes.
+
+        The paper keeps only one of any set of players with identical ranking
+        statistics; this mirrors that preprocessing step.
+        """
+        matrix = self.matrix(attributes)
+        _, first_indices = np.unique(matrix, axis=0, return_index=True)
+        return self.take(np.sort(first_indices))
+
+    def normalized(self, attributes: Sequence[str] | None = None) -> "Relation":
+        """Min-max scale the given numeric attributes into ``[0, 1]``.
+
+        Scaling keeps every induced ranking identical (it is a positive affine
+        transform per attribute) while making the tie tolerances ``eps1`` /
+        ``eps2`` comparable across datasets, exactly as the paper's per-dataset
+        epsilon choices assume.
+        """
+        if attributes is None:
+            attributes = self.numeric_attribute_names()
+        columns = dict(self._columns)
+        for name in attributes:
+            col = self.column(name).astype(float)
+            low, high = float(np.min(col)), float(np.max(col))
+            span = high - low
+            columns[name] = (col - low) / span if span > 0 else np.zeros_like(col)
+        return Relation(columns, key=self._key)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(n={self._length}, "
+            f"attributes={self.attribute_names!r}, key={self._key!r})"
+        )

@@ -1,0 +1,44 @@
+"""Linear and mixed-integer linear programming substrate.
+
+The RankHow paper relies on Gurobi, a commercial MILP solver.  This package
+provides the equivalent substrate built from scratch:
+
+* :mod:`repro.solvers.simplex` -- a dense two-phase primal simplex method.
+* :mod:`repro.solvers.lp` -- a general LP model (bounds, inequalities,
+  equalities) solved either by the built-in simplex or by SciPy's HiGHS
+  backend.
+* :mod:`repro.solvers.milp` -- a mixed-integer model with binary variables and
+  indicator constraints encoded through tight big-M rows.
+* :mod:`repro.solvers.branch_and_bound` -- a best-first branch-and-bound MILP
+  solver with incumbent callbacks and rounding heuristics.
+* :mod:`repro.solvers.presolve` -- bound tightening and indicator fixing.
+"""
+
+from repro.solvers.lp import (
+    LinearProgram,
+    LPSolution,
+    LPStatus,
+)
+from repro.solvers.milp import (
+    IndicatorConstraint,
+    MILPModel,
+    MILPSolution,
+    MILPStatus,
+)
+from repro.solvers.branch_and_bound import BranchAndBoundSolver, SolverOptions
+from repro.solvers.simplex import SimplexResult, SimplexStatus, solve_standard_form
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "LPStatus",
+    "IndicatorConstraint",
+    "MILPModel",
+    "MILPSolution",
+    "MILPStatus",
+    "BranchAndBoundSolver",
+    "SolverOptions",
+    "SimplexResult",
+    "SimplexStatus",
+    "solve_standard_form",
+]

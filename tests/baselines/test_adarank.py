@@ -1,0 +1,72 @@
+"""Tests for the AdaRank adaptation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.adarank import AdaRankBaseline, AdaRankOptions
+from repro.core.problem import RankingProblem
+from repro.data.rankings import ranking_from_scores
+from repro.data.relation import Relation
+from repro.data.synthetic import generate_correlated, generate_uniform
+
+
+def test_returns_simplex_weights(nonlinear_problem):
+    result = AdaRankBaseline().solve(nonlinear_problem)
+    assert result.method == "adarank"
+    assert np.all(result.weights >= -1e-12)
+    assert result.weights.sum() == pytest.approx(1.0)
+    assert result.error >= 0
+    assert result.iterations >= 1
+
+
+def test_selected_attributes_recorded(nonlinear_problem):
+    result = AdaRankBaseline(AdaRankOptions(num_rounds=5)).solve(nonlinear_problem)
+    selected = result.diagnostics["selected_attributes"]
+    assert 1 <= len(selected) <= 5
+    assert set(selected) <= set(nonlinear_problem.attributes)
+
+
+def test_degenerates_to_single_attribute_when_one_dominates():
+    """The paper's observation: one highly correlated attribute is picked repeatedly."""
+    relation = generate_uniform(80, 3, seed=9)
+    # The given ranking is (almost) exactly attribute A1.
+    scores = relation.matrix()[:, 0]
+    problem = RankingProblem(relation, ranking_from_scores(scores, k=6))
+    result = AdaRankBaseline(AdaRankOptions(num_rounds=10)).solve(problem)
+    selected = set(result.diagnostics["selected_attributes"])
+    assert selected == {"A1"}
+    assert result.weights[0] == pytest.approx(1.0)
+
+
+def test_no_repeat_option_spreads_the_weight():
+    relation = generate_correlated(60, 3, seed=5)
+    scores = np.sum(relation.matrix() ** 2, axis=1)
+    problem = RankingProblem(relation, ranking_from_scores(scores, k=5))
+    repeats = AdaRankBaseline(AdaRankOptions(num_rounds=6, allow_repeats=True)).solve(problem)
+    no_repeats = AdaRankBaseline(AdaRankOptions(num_rounds=6, allow_repeats=False)).solve(problem)
+    assert len(set(no_repeats.diagnostics["selected_attributes"])) >= len(
+        set(repeats.diagnostics["selected_attributes"])
+    )
+
+
+def test_single_round():
+    relation = generate_uniform(30, 4, seed=2)
+    scores = np.sum(relation.matrix(), axis=1)
+    problem = RankingProblem(relation, ranking_from_scores(scores, k=3))
+    result = AdaRankBaseline(AdaRankOptions(num_rounds=1)).solve(problem)
+    assert result.iterations == 1
+    # With one round the function is a single attribute.
+    assert np.count_nonzero(result.weights) == 1
+
+
+def test_handles_perfect_weak_ranker():
+    relation = Relation.from_rows(
+        [(5.0, 0.1), (4.0, 0.9), (3.0, 0.4), (2.0, 0.2), (1.0, 0.7)], ["A1", "A2"]
+    )
+    problem = RankingProblem(
+        relation, ranking_from_scores(relation.matrix()[:, 0], k=3)
+    )
+    result = AdaRankBaseline().solve(problem)
+    assert result.error == 0

@@ -1,0 +1,85 @@
+"""Tests for the LINEARREGRESSION competitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_regression import LinearRegressionBaseline
+from repro.core.problem import RankingProblem
+from repro.core.ranking import Ranking
+from repro.data.rankings import ranking_from_scores
+from repro.data.relation import Relation
+from repro.data.synthetic import generate_uniform
+
+
+def test_returns_synthesis_result(linear_problem):
+    result = LinearRegressionBaseline().solve(linear_problem)
+    assert result.method == "linear_regression"
+    assert result.weights.shape == (4,)
+    assert result.error >= 0
+    assert not result.optimal
+
+
+def test_non_negative_variant_produces_non_negative_weights(nonlinear_problem):
+    result = LinearRegressionBaseline(non_negative=True).solve(nonlinear_problem)
+    assert result.method == "linear_regression_nn"
+    assert np.all(result.weights >= -1e-9)
+
+
+def test_example_3_linear_regression_fails_where_rankhow_succeeds():
+    """The paper's Example 3: least squares on the rank labels swaps tuples."""
+    relation = Relation.from_rows(
+        [(1, 10000), (2, 1000), (5, 1), (4, 10), (3, 100)], ["A1", "A2"]
+    )
+    ranking = Ranking([1, 2, 3, 4, 5])
+    problem = RankingProblem(relation, ranking)
+    result = LinearRegressionBaseline().solve(problem)
+    # The paper reports a position error of 4 (tuples 3 and 5 swapped).
+    assert result.error > 0
+
+
+def test_ordinary_variant_can_have_negative_weights():
+    relation = Relation.from_rows(
+        [(1.0, 9.0), (2.0, 7.0), (3.0, 5.0), (4.0, 2.0), (5.0, 1.0)], ["A1", "A2"]
+    )
+    # Ranking follows A2 (descending A1), so the label decreases with A1.
+    ranking = Ranking([5, 4, 3, 2, 1])
+    result = LinearRegressionBaseline().solve(
+        RankingProblem(relation, ranking)
+    )
+    assert result.weights[0] < 0 or result.weights[1] > 0
+
+
+def test_include_unranked_affects_the_fit():
+    relation = generate_uniform(60, 3, seed=8)
+    scores = np.sum(relation.matrix() ** 3, axis=1)
+    problem = RankingProblem(relation, ranking_from_scores(scores, k=5))
+    with_unranked = LinearRegressionBaseline(include_unranked=True).solve(problem)
+    without_unranked = LinearRegressionBaseline(include_unranked=False).solve(problem)
+    assert with_unranked.diagnostics["fit_rows"] == 60
+    assert without_unranked.diagnostics["fit_rows"] == 5
+    assert not np.allclose(with_unranked.weights, without_unranked.weights)
+
+
+def test_no_intercept_variant_runs(linear_problem):
+    result = LinearRegressionBaseline(fit_intercept=False).solve(linear_problem)
+    assert result.weights.shape == (4,)
+    nn_result = LinearRegressionBaseline(fit_intercept=False, non_negative=True).solve(
+        linear_problem
+    )
+    assert np.all(nn_result.weights >= -1e-9)
+
+
+def test_perfect_fit_when_labels_are_linear_in_the_attributes():
+    """When the rank labels are exactly linear in an attribute, OLS is perfect."""
+    n = 12
+    rng = np.random.default_rng(4)
+    relation = Relation(
+        {"A1": np.arange(n, 0, -1, dtype=float), "A2": rng.uniform(size=n)}
+    )
+    # Tuple i sits at position i+1, so its label n - position + 1 equals A1.
+    ranking = Ranking(list(range(1, n + 1)))
+    problem = RankingProblem(relation, ranking)
+    result = LinearRegressionBaseline().solve(problem)
+    assert result.error == 0

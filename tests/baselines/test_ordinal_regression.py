@@ -1,0 +1,102 @@
+"""Tests for the ORDINALREGRESSION competitor (Srinivasan LP + extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ordinal_regression import (
+    OrdinalRegressionBaseline,
+    OrdinalRegressionOptions,
+)
+from repro.core.constraints import ConstraintSet, min_weight
+from repro.core.problem import RankingProblem
+from repro.core.ranking import Ranking
+from repro.data.rankings import ranking_from_scores
+from repro.data.relation import Relation
+from repro.data.synthetic import generate_uniform
+
+
+def test_recovers_linearly_representable_ranking(linear_problem):
+    result = OrdinalRegressionBaseline().solve(linear_problem)
+    assert result.method == "ordinal_regression"
+    assert result.error == 0
+    assert result.objective == pytest.approx(0.0, abs=1e-6)
+    assert result.weights.sum() == pytest.approx(1.0, abs=1e-6)
+    assert np.all(result.weights >= -1e-9)
+
+
+def test_score_penalty_positive_when_ranking_not_representable(nonlinear_problem):
+    result = OrdinalRegressionBaseline().solve(nonlinear_problem)
+    assert result.error >= 0
+    assert result.diagnostics["score_penalty"] >= 0.0
+
+
+def test_tie_support_extension():
+    relation = Relation.from_rows(
+        [(0.9, 0.1), (0.1, 0.9), (0.2, 0.2)], ["A1", "A2"]
+    )
+    ranking = Ranking([1, 1, 3])  # the top two are tied
+    problem = RankingProblem(relation, ranking)
+    with_ties = OrdinalRegressionBaseline(
+        OrdinalRegressionOptions(support_ties=True)
+    ).solve(problem)
+    without_ties = OrdinalRegressionBaseline(
+        OrdinalRegressionOptions(support_ties=False)
+    ).solve(problem)
+    assert with_ties.diagnostics["tied_pairs"] == 1
+    # Tie constraints push the two tied tuples' scores together.
+    scores = problem.scores(with_ties.weights)
+    assert abs(scores[0] - scores[1]) <= abs(
+        problem.scores(without_ties.weights)[0]
+        - problem.scores(without_ties.weights)[1]
+    ) + 1e-9
+
+
+def test_margin_override_mimics_or_minus():
+    relation = generate_uniform(20, 3, seed=6)
+    scores = relation.matrix() @ np.array([0.6, 0.3, 0.1])
+    problem = RankingProblem(relation, ranking_from_scores(scores, k=4))
+    plus = OrdinalRegressionBaseline(
+        OrdinalRegressionOptions(separation_margin=None)
+    ).solve(problem)
+    minus = OrdinalRegressionBaseline(
+        OrdinalRegressionOptions(separation_margin=1e-10)
+    ).solve(problem)
+    assert plus.diagnostics["margin"] == problem.tolerances.eps1
+    assert minus.diagnostics["margin"] == 1e-10
+
+
+def test_respects_problem_weight_constraints(linear_problem):
+    constrained = linear_problem.with_constraints(
+        ConstraintSet().add(min_weight("A4", 0.4))
+    )
+    result = OrdinalRegressionBaseline().solve(constrained)
+    assert result.weights[3] >= 0.4 - 1e-6
+    ignored = OrdinalRegressionBaseline(
+        OrdinalRegressionOptions(apply_weight_constraints=False)
+    ).solve(constrained)
+    assert ignored.weights[3] < 0.4
+
+
+def test_include_unranked_option_changes_constraint_count(nonlinear_problem):
+    with_unranked = OrdinalRegressionBaseline(
+        OrdinalRegressionOptions(include_unranked=True)
+    ).solve(nonlinear_problem)
+    without_unranked = OrdinalRegressionBaseline(
+        OrdinalRegressionOptions(include_unranked=False)
+    ).solve(nonlinear_problem)
+    assert (
+        with_unranked.diagnostics["ordered_pairs"]
+        > without_unranked.diagnostics["ordered_pairs"]
+    )
+
+
+def test_infeasible_constraints_fall_back_to_uniform():
+    relation = generate_uniform(10, 2, seed=2)
+    ranking = ranking_from_scores(relation.matrix()[:, 0], k=2)
+    constraints = ConstraintSet().add(min_weight("A1", 0.9)).add(min_weight("A2", 0.9))
+    problem = RankingProblem(relation, ranking, constraints=constraints)
+    result = OrdinalRegressionBaseline().solve(problem)
+    assert result.weights == pytest.approx([0.5, 0.5])
+    assert result.objective == float("inf")

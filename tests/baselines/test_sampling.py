@@ -1,0 +1,79 @@
+"""Tests for the SAMPLING competitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import SamplingBaseline, SamplingOptions
+from repro.core.constraints import ConstraintSet, max_weight, min_weight
+from repro.core.problem import RankingProblem
+from repro.data.rankings import ranking_from_scores
+from repro.data.synthetic import generate_uniform
+
+
+def test_basic_run(nonlinear_problem):
+    result = SamplingBaseline(SamplingOptions(num_samples=200, seed=1)).solve(
+        nonlinear_problem
+    )
+    assert result.method == "sampling"
+    assert result.error >= 0
+    assert result.weights.sum() == pytest.approx(1.0, abs=1e-6)
+    assert result.iterations > 0
+
+
+def test_deterministic_given_seed(nonlinear_problem):
+    first = SamplingBaseline(SamplingOptions(num_samples=150, seed=7)).solve(
+        nonlinear_problem
+    )
+    second = SamplingBaseline(SamplingOptions(num_samples=150, seed=7)).solve(
+        nonlinear_problem
+    )
+    assert np.allclose(first.weights, second.weights)
+    assert first.error == second.error
+
+
+def test_more_samples_never_hurt(nonlinear_problem):
+    small = SamplingBaseline(SamplingOptions(num_samples=20, seed=3)).solve(
+        nonlinear_problem
+    )
+    large = SamplingBaseline(SamplingOptions(num_samples=500, seed=3)).solve(
+        nonlinear_problem
+    )
+    assert large.error <= small.error
+
+
+def test_respects_weight_constraints(linear_problem):
+    constrained = linear_problem.with_constraints(
+        ConstraintSet().add(min_weight("A1", 0.5)).add(max_weight("A2", 0.2))
+    )
+    result = SamplingBaseline(SamplingOptions(num_samples=300, seed=5)).solve(constrained)
+    assert result.weights[0] >= 0.5 - 1e-6
+    assert result.weights[1] <= 0.2 + 1e-6
+    assert result.diagnostics["rejected"] > 0
+
+
+def test_finds_zero_error_on_easy_problem(linear_problem):
+    result = SamplingBaseline(SamplingOptions(num_samples=3000, seed=2)).solve(
+        linear_problem
+    )
+    # The feasible region reproducing the ranking is wide; sampling should hit it.
+    assert result.error <= 2
+
+
+def test_time_budget_zero_still_returns_something(nonlinear_problem):
+    result = SamplingBaseline(SamplingOptions(num_samples=10_000, time_limit=0.0)).solve(
+        nonlinear_problem
+    )
+    assert result.error >= 0
+
+
+def test_corner_vectors_evaluated_when_enabled():
+    relation = generate_uniform(30, 3, seed=12)
+    scores = relation.matrix()[:, 2]
+    problem = RankingProblem(relation, ranking_from_scores(scores, k=4))
+    result = SamplingBaseline(
+        SamplingOptions(num_samples=1, seed=0, include_corners=True)
+    ).solve(problem)
+    # The corner (0, 0, 1) reproduces the ranking exactly.
+    assert result.error == 0

@@ -1,0 +1,92 @@
+"""Smoke tests for the experiment entry points at tiny scale.
+
+The full experiments are exercised by ``pytest benchmarks/ --benchmark-only``;
+here each entry point runs on a drastically reduced workload to check that it
+produces well-formed records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    experiment_case_study,
+    experiment_fig3_vary_k,
+    experiment_fig3i_cell_size,
+    experiment_fig3mno_derived,
+    experiment_table3_numerics,
+)
+from repro.bench.harness import BenchmarkScale
+from repro.bench.reporting import ascii_table, series_by
+
+TINY = BenchmarkScale(
+    name="tiny",
+    nba_tuples=60,
+    csrankings_tuples=40,
+    synthetic_tuples=150,
+    rankhow_time_limit=8.0,
+    symgd_time_limit=5.0,
+    tree_time_limit=5.0,
+)
+
+
+def _check_records(records, expected_methods=None):
+    assert records
+    for record in records:
+        assert record.error >= -1
+        assert record.time_seconds >= 0.0
+        assert record.per_tuple_error >= -1
+    if expected_methods is not None:
+        assert {record.method for record in records} >= set(expected_methods)
+
+
+def test_case_study_smoke():
+    records = experiment_case_study(
+        scale=TINY, num_candidates=6, methods=("rankhow", "tree")
+    )
+    _check_records(records, {"rankhow", "tree"})
+    table = ascii_table(records, title="case study")
+    assert "rankhow" in table
+
+
+def test_vary_k_smoke():
+    records = experiment_fig3_vary_k(
+        dataset="nba",
+        k_values=(2, 3),
+        scale=TINY,
+        methods=("rankhow", "ordinal_regression", "sampling"),
+    )
+    _check_records(records, {"rankhow", "ordinal_regression", "sampling"})
+    series = series_by(records, "k")
+    assert len(series["rankhow"]) == 2
+
+
+def test_table3_smoke():
+    records = experiment_table3_numerics(
+        num_tuples=6, num_attributes=5, k_values=(2, 4), scale=TINY
+    )
+    methods = {record.method for record in records}
+    assert methods == {
+        "rankhow_plus",
+        "rankhow_minus",
+        "ordinal_regression_plus",
+        "ordinal_regression_minus",
+    }
+    plus_errors = [r.error for r in records if r.method == "rankhow_plus"]
+    assert all(error >= 0 for error in plus_errors)
+
+
+def test_cell_size_smoke():
+    records = experiment_fig3i_cell_size(
+        scale=TINY, cell_sizes=(0.05, 0.2), num_attributes=4, k=4
+    )
+    _check_records(records, {"symgd"})
+    assert [record.params["cell_size"] for record in records] == [0.05, 0.2]
+
+
+def test_derived_attributes_smoke():
+    records = experiment_fig3mno_derived(
+        scale=TINY, distributions=("correlated",), exponents=(2.0,), k=4
+    )
+    methods = {record.method for record in records}
+    assert methods == {"symgd_original", "symgd_derived"}

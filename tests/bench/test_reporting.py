@@ -1,0 +1,78 @@
+"""Tests for the benchmark reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import ExperimentRecord, ascii_table, records_to_csv, series_by
+
+
+@pytest.fixture
+def records() -> list[ExperimentRecord]:
+    return [
+        ExperimentRecord(
+            experiment="fig3b",
+            dataset="nba",
+            method="rankhow",
+            params={"k": k},
+            error=float(k - 2),
+            per_tuple_error=(k - 2) / k,
+            time_seconds=0.5 * k,
+        )
+        for k in (2, 3, 4)
+    ] + [
+        ExperimentRecord(
+            experiment="fig3b",
+            dataset="nba",
+            method="sampling",
+            params={"k": k},
+            error=float(k),
+            per_tuple_error=1.0,
+            time_seconds=0.1,
+            extra={"samples": 100},
+        )
+        for k in (2, 3, 4)
+    ]
+
+
+def test_as_row_flattens_params_and_extra(records):
+    row = records[-1].as_row()
+    assert row["param_k"] == 4
+    assert row["extra_samples"] == 100
+    assert row["method"] == "sampling"
+
+
+def test_ascii_table_contains_all_methods(records):
+    table = ascii_table(records, title="Figure 3b")
+    assert "Figure 3b" in table
+    assert "rankhow" in table and "sampling" in table
+    assert "param_k" in table
+    # One header, one separator, one title, plus one line per record.
+    assert len(table.splitlines()) == 3 + len(records)
+
+
+def test_ascii_table_empty():
+    assert "(no records)" in ascii_table([], title="empty")
+
+
+def test_ascii_table_custom_columns(records):
+    table = ascii_table(records, columns=["method", "error"])
+    assert "rankhow" in table
+    assert "param_k" not in table
+
+
+def test_records_to_csv_roundtrip(tmp_path, records):
+    path = records_to_csv(records, tmp_path / "out.csv")
+    content = path.read_text().splitlines()
+    assert content[0].startswith("experiment,dataset,method")
+    assert len(content) == 1 + len(records)
+    empty = records_to_csv([], tmp_path / "empty.csv")
+    assert empty.read_text() == ""
+
+
+def test_series_by_groups_and_sorts(records):
+    series = series_by(records, "k", value="error")
+    assert set(series) == {"rankhow", "sampling"}
+    assert series["rankhow"] == [(2, 0.0), (3, 1.0), (4, 2.0)]
+    time_series = series_by(records, "k", value="time_seconds")
+    assert time_series["sampling"][0][1] == pytest.approx(0.1)

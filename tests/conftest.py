@@ -1,0 +1,53 @@
+"""Shared fixtures: small, fast problem instances used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RankingProblem, ToleranceSettings
+from repro.data.rankings import ranking_from_scores
+from repro.data.relation import Relation
+from repro.data.synthetic import generate_uniform
+
+
+@pytest.fixture
+def tiny_relation() -> Relation:
+    """The running example of the paper (Example 4): three tuples, three attributes."""
+    return Relation.from_rows(
+        [(3, 2, 8), (4, 1, 15), (1, 1, 14)], ["A1", "A2", "A3"]
+    )
+
+
+@pytest.fixture
+def tiny_problem(tiny_relation: Relation) -> RankingProblem:
+    """Example 4's problem: ranking [1, 2, bottom] over the tiny relation."""
+    from repro.core.ranking import Ranking
+
+    ranking = Ranking([1, 2, 0])
+    # Normalize so the simplex tolerances are comparable across attributes.
+    relation = tiny_relation.normalized()
+    return RankingProblem(relation, ranking, attributes=["A1", "A2", "A3"])
+
+
+@pytest.fixture
+def linear_problem() -> RankingProblem:
+    """A 40-tuple problem whose given ranking IS a linear function (error 0 possible)."""
+    relation = generate_uniform(40, 4, seed=11)
+    hidden = np.array([0.4, 0.3, 0.2, 0.1])
+    scores = relation.matrix() @ hidden
+    ranking = ranking_from_scores(scores, k=5)
+    return RankingProblem(relation, ranking)
+
+
+@pytest.fixture
+def nonlinear_problem() -> RankingProblem:
+    """A 50-tuple problem ranked by a cubic function (a linear fit has error >= 0)."""
+    relation = generate_uniform(50, 4, seed=3)
+    scores = np.sum(relation.matrix() ** 3, axis=1)
+    ranking = ranking_from_scores(scores, k=4)
+    return RankingProblem(
+        relation,
+        ranking,
+        tolerances=ToleranceSettings(tie_eps=5e-6, eps1=1e-5, eps2=0.0),
+    )

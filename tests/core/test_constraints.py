@@ -1,0 +1,105 @@
+"""Tests for the weight / position / precedence constraint DSL."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    ConstraintSet,
+    PositionRangeConstraint,
+    PrecedenceConstraint,
+    WeightConstraint,
+    fix_weight,
+    group_weight_bound,
+    max_weight,
+    min_weight,
+)
+
+ATTRIBUTES = ["PTS", "REB", "AST"]
+
+
+def test_weight_constraint_row_and_satisfaction():
+    constraint = WeightConstraint({"PTS": 1.0, "AST": -2.0}, "<=", 0.1)
+    row = constraint.row(ATTRIBUTES)
+    assert row.tolist() == [1.0, 0.0, -2.0]
+    assert constraint.is_satisfied(np.array([0.1, 0.9, 0.0]), ATTRIBUTES)
+    assert not constraint.is_satisfied(np.array([0.5, 0.5, 0.0]), ATTRIBUTES)
+
+
+def test_weight_constraint_validation():
+    with pytest.raises(ValueError):
+        WeightConstraint({"PTS": 1.0}, "<<", 0.1)
+    with pytest.raises(ValueError):
+        WeightConstraint({}, "<=", 0.1)
+    constraint = WeightConstraint({"XYZ": 1.0}, "<=", 0.1)
+    with pytest.raises(KeyError):
+        constraint.row(ATTRIBUTES)
+
+
+@pytest.mark.parametrize(
+    "factory,weights,expected",
+    [
+        (lambda: min_weight("PTS", 0.2), [0.3, 0.4, 0.3], True),
+        (lambda: min_weight("PTS", 0.2), [0.1, 0.5, 0.4], False),
+        (lambda: max_weight("REB", 0.5), [0.3, 0.4, 0.3], True),
+        (lambda: max_weight("REB", 0.3), [0.3, 0.4, 0.3], False),
+        (lambda: fix_weight("AST", 0.3), [0.3, 0.4, 0.3], True),
+        (lambda: fix_weight("AST", 0.2), [0.3, 0.4, 0.3], False),
+        (lambda: group_weight_bound(["PTS", "REB"], "<=", 0.75), [0.3, 0.4, 0.3], True),
+        (lambda: group_weight_bound(["PTS", "REB"], ">=", 0.8), [0.3, 0.4, 0.3], False),
+    ],
+)
+def test_convenience_constructors(factory, weights, expected):
+    constraint = factory()
+    assert constraint.is_satisfied(np.asarray(weights), ATTRIBUTES) is expected
+
+
+def test_equality_sense_tolerance():
+    constraint = fix_weight("PTS", 0.5)
+    assert constraint.is_satisfied(np.array([0.5 + 1e-12, 0.5, 0.0]), ATTRIBUTES)
+
+
+def test_position_range_constraint_validation():
+    PositionRangeConstraint(0, 1, 3)
+    with pytest.raises(ValueError):
+        PositionRangeConstraint(0, 0, 3)
+    with pytest.raises(ValueError):
+        PositionRangeConstraint(0, 4, 3)
+
+
+def test_precedence_constraint_validation():
+    PrecedenceConstraint(1, 2)
+    with pytest.raises(ValueError):
+        PrecedenceConstraint(3, 3)
+
+
+def test_constraint_set_add_and_len():
+    constraints = (
+        ConstraintSet()
+        .add(min_weight("PTS", 0.1))
+        .add(PositionRangeConstraint(0, 1, 2))
+        .add(PrecedenceConstraint(0, 1))
+    )
+    assert len(constraints) == 3
+    assert len(constraints.weight_constraints) == 1
+    assert len(constraints.position_constraints) == 1
+    assert len(constraints.precedence_constraints) == 1
+    with pytest.raises(TypeError):
+        constraints.add("not a constraint")
+
+
+def test_constraint_set_weight_rows_and_satisfaction():
+    constraints = ConstraintSet().add(min_weight("PTS", 0.1)).add(max_weight("AST", 0.5))
+    rows = constraints.weight_rows(ATTRIBUTES)
+    assert len(rows) == 2
+    assert constraints.weights_satisfied(np.array([0.2, 0.4, 0.4]), ATTRIBUTES)
+    assert not constraints.weights_satisfied(np.array([0.05, 0.45, 0.5]), ATTRIBUTES)
+
+
+def test_constraint_set_copy_is_independent():
+    constraints = ConstraintSet().add(min_weight("PTS", 0.1))
+    clone = constraints.copy()
+    clone.add(max_weight("REB", 0.5))
+    assert len(constraints) == 1
+    assert len(clone) == 2

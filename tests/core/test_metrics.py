@@ -1,0 +1,116 @@
+"""Tests for the ranking-quality measures (Definition 3 and friends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    evaluate_function,
+    inversions,
+    kendall_tau,
+    per_tuple_position_error,
+    position_error,
+    position_error_of_function,
+    weighted_position_error,
+)
+from repro.core.ranking import Ranking
+from repro.core.scoring import LinearScoringFunction, induced_ranks
+
+
+def test_example_2_from_the_paper():
+    """Scores [8,6,2,0] rank perfectly; scores [3,2,4,1] cost 4 positions."""
+    ranking = Ranking([1, 2, 3, 4])
+    perfect = induced_ranks(np.array([8.0, 6.0, 2.0, 0.0]))
+    assert position_error(ranking, perfect) == 0
+    wrong = induced_ranks(np.array([3.0, 2.0, 4.0, 1.0]))
+    assert position_error(ranking, wrong) == 4
+    assert inversions(ranking, np.array([3.0, 2.0, 4.0, 1.0])) == 2
+
+
+def test_position_error_only_counts_ranked_tuples():
+    ranking = Ranking([1, 2, 0, 0])
+    induced = np.array([4, 3, 1, 2])
+    # Tuple 0 off by 3, tuple 1 off by 1, unranked tuples ignored.
+    assert position_error(ranking, induced) == 4
+    assert per_tuple_position_error(ranking, induced) == pytest.approx(2.0)
+
+
+def test_position_error_validates_length():
+    ranking = Ranking([1, 2])
+    with pytest.raises(ValueError):
+        position_error(ranking, np.array([1, 2, 3]))
+
+
+def test_position_error_of_function():
+    ranking = Ranking([1, 2, 0])
+    matrix = np.array([[1.0, 0.0], [0.5, 0.0], [0.0, 0.0]])
+    function = LinearScoringFunction([1.0, 0.0], ["a", "b"])
+    assert position_error_of_function(ranking, function, matrix) == 0
+
+
+def test_inversions_and_kendall_tau_perfect_and_reversed():
+    ranking = Ranking([1, 2, 3])
+    ascending = np.array([3.0, 2.0, 1.0])
+    descending = np.array([1.0, 2.0, 3.0])
+    assert inversions(ranking, ascending) == 0
+    assert kendall_tau(ranking, ascending) == pytest.approx(1.0)
+    assert inversions(ranking, descending) == 3
+    assert kendall_tau(ranking, descending) == pytest.approx(-1.0)
+
+
+def test_kendall_tau_ignores_tied_pairs():
+    ranking = Ranking([1, 1, 3])
+    scores = np.array([5.0, 1.0, 0.5])
+    # The (0,1) pair is tied in the given ranking and therefore ignored.
+    assert kendall_tau(ranking, scores) == pytest.approx(1.0)
+    # All pairs tied in scores -> no comparable pairs -> tau defaults to 1.
+    assert kendall_tau(ranking, np.zeros(3)) == pytest.approx(1.0)
+
+
+def test_weighted_position_error_penalizes_top_more():
+    ranking = Ranking([1, 2])
+    induced = np.array([2, 1])  # both off by one position
+    top_heavy = weighted_position_error(ranking, induced)
+    assert top_heavy == pytest.approx(1.0 / 1 + 1.0 / 2)
+    uniform = weighted_position_error(ranking, induced, weight_of_position=lambda _: 1.0)
+    assert uniform == pytest.approx(2.0)
+
+
+def test_evaluate_function_bundle():
+    ranking = Ranking([1, 2, 0])
+    matrix = np.array([[1.0], [0.5], [0.1]])
+    function = LinearScoringFunction([1.0], ["a"])
+    metrics = evaluate_function(ranking, function, matrix)
+    assert metrics["position_error"] == 0.0
+    assert metrics["per_tuple_error"] == 0.0
+    assert metrics["kendall_tau"] == pytest.approx(1.0)
+    assert metrics["inversions"] == 0.0
+
+
+@settings(deadline=None, max_examples=50)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_position_error_is_zero_iff_positions_match_on_ranked(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 20))
+    k = int(rng.integers(1, n))
+    order = rng.permutation(n)
+    ranking = Ranking.from_ordered_indices(order[:k].tolist(), n)
+    scores = np.empty(n)
+    scores[order] = np.arange(n, 0, -1)
+    induced = induced_ranks(scores)
+    assert position_error(ranking, induced) == 0
+
+
+@settings(deadline=None, max_examples=50)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_position_error_non_negative_and_bounded(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 25))
+    k = int(rng.integers(1, n))
+    ranking = Ranking.from_ordered_indices(rng.permutation(n)[:k].tolist(), n)
+    induced = induced_ranks(rng.normal(size=n))
+    error = position_error(ranking, induced)
+    assert 0 <= error <= k * n

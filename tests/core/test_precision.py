@@ -1,0 +1,109 @@
+"""Tests for the numerical-imprecision machinery (Section V-A)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.precision import (
+    choose_epsilons,
+    exact_induced_positions,
+    exact_position_error,
+    exact_scores,
+    find_tau,
+    has_numerical_issue,
+    ranked_score_gaps,
+    verify_weights,
+)
+from repro.core.problem import RankingProblem, ToleranceSettings
+from repro.core.ranking import Ranking
+from repro.data.relation import Relation
+
+
+def test_exact_scores_are_rational_and_match_float():
+    matrix = np.array([[0.1, 0.2], [0.3, 0.4]])
+    weights = np.array([0.5, 0.5])
+    scores = exact_scores(matrix, weights)
+    assert all(isinstance(score, Fraction) for score in scores)
+    assert float(scores[0]) == pytest.approx(0.15)
+    assert float(scores[1]) == pytest.approx(0.35)
+
+
+def test_exact_induced_positions_with_ties():
+    scores = [Fraction(3), Fraction(3), Fraction(1)]
+    assert exact_induced_positions(scores).tolist() == [1, 1, 3]
+    assert exact_induced_positions(scores, tie_eps=5.0).tolist() == [1, 1, 1]
+
+
+def test_exact_position_error_and_verification(linear_problem):
+    hidden = np.array([0.4, 0.3, 0.2, 0.1])
+    assert exact_position_error(linear_problem, hidden) == 0
+    report = verify_weights(linear_problem, hidden, claimed_error=0)
+    assert report.consistent
+    assert report.exact_error == 0
+    wrong_claim = verify_weights(linear_problem, hidden, claimed_error=3)
+    assert not wrong_claim.consistent
+    assert has_numerical_issue(linear_problem, hidden, claimed_error=3)
+
+
+def test_verification_catches_tiny_score_gap_false_positive():
+    """Two nearly-tied tuples: a solver working with a loose threshold would
+    claim a perfect ranking that exact arithmetic refutes."""
+    relation = Relation.from_rows(
+        [(0.5, 0.5), (0.5 + 1e-12, 0.5 + 1e-12), (0.1, 0.1)], ["A1", "A2"]
+    )
+    # The given ranking says tuple 0 is ranked above tuple 1.
+    ranking = Ranking([1, 2, 0])
+    problem = RankingProblem(relation, ranking)
+    weights = np.array([0.5, 0.5])
+    # Exact arithmetic: tuple 1's score is strictly greater -> it beats tuple 0,
+    # so the error is not zero.
+    report = verify_weights(problem, weights, claimed_error=0)
+    assert report.exact_error > 0
+    assert not report.consistent
+
+
+def test_choose_epsilons_respects_lemmas():
+    settings = choose_epsilons(tie_eps=1e-3, tau=1e-5)
+    assert settings.eps2 == pytest.approx(1e-3 - 1e-5)  # Lemma 3
+    assert settings.eps1 - settings.eps2 > 2 * 1e-5  # Lemma 2
+    assert settings.eps1 > 1e-3
+
+
+def test_ranked_score_gaps(linear_problem):
+    gaps = ranked_score_gaps(linear_problem, np.array([0.4, 0.3, 0.2, 0.1]))
+    assert gaps.shape == (linear_problem.k - 1,)
+    # The hidden function reproduces the ranking, so consecutive gaps are >= 0.
+    assert np.all(gaps >= 0.0)
+
+
+def test_find_tau_returns_a_passing_tolerance(linear_problem):
+    hidden = np.array([0.4, 0.3, 0.2, 0.1])
+
+    def solve_and_claim(settings: ToleranceSettings):
+        # A stand-in solver that always returns the hidden weights and claims
+        # their true error; verification always passes, so the search should
+        # drive tau down towards tau_low.
+        problem = linear_problem.with_tolerances(settings)
+        return hidden, problem.error_of(hidden)
+
+    tau = find_tau(linear_problem, solve_and_claim, tau_low=1e-10, tau_high=1e-3)
+    assert 1e-10 <= tau <= 1e-3
+    assert tau < 1e-3  # it should have made progress downwards
+
+
+def test_find_tau_falls_back_when_everything_fails(linear_problem):
+    def always_wrong(settings: ToleranceSettings):
+        return np.array([0.25, 0.25, 0.25, 0.25]), -1  # impossible claim
+
+    tau = find_tau(linear_problem, always_wrong, tau_low=1e-8, tau_high=1e-4)
+    assert tau == pytest.approx(1e-4)
+
+
+def test_find_tau_validates_inputs(linear_problem):
+    with pytest.raises(ValueError):
+        find_tau(linear_problem, lambda s: (np.zeros(4), 0), tau_low=0.0, tau_high=1.0)
+    with pytest.raises(ValueError):
+        find_tau(linear_problem, lambda s: (np.zeros(4), 0), tau_low=1e-3, tau_high=1e-5)

@@ -1,0 +1,100 @@
+"""Tests for the Ranking class (Definition 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import UNRANKED, Ranking
+
+
+def test_valid_rankings_from_the_paper():
+    # [1, 2, 3, 4, bottom, bottom] and [1, 1, 3, 3, bottom, bottom] are valid.
+    Ranking([1, 2, 3, 4, 0, 0])
+    Ranking([1, 1, 3, 3, 0, 0])
+
+
+def test_invalid_rankings_from_the_paper():
+    # [2, 3, 4, 5, ...] does not start at 1.
+    with pytest.raises(ValueError):
+        Ranking([2, 3, 4, 5, 0, 0])
+    # [1, 1, 4, 4, ...] has an excessive gap between 1 and 4.
+    with pytest.raises(ValueError):
+        Ranking([1, 1, 4, 4, 0, 0])
+
+
+def test_other_validation_rules():
+    with pytest.raises(ValueError):
+        Ranking([0, 0, 0])  # nothing ranked
+    with pytest.raises(ValueError):
+        Ranking([[1, 2]])  # not one-dimensional
+    with pytest.raises(ValueError):
+        Ranking([1, -2])  # negative positions
+    # validate=False skips the checks (trusted internal callers).
+    Ranking([2, 3], validate=False)
+
+
+def test_basic_accessors():
+    ranking = Ranking([2, 1, 0, 2])
+    assert ranking.num_tuples == 4
+    assert len(ranking) == 4
+    assert ranking.k == 3
+    assert ranking.position_of(1) == 1
+    assert ranking.position_of(2) == UNRANKED
+    assert ranking.is_ranked(0) and not ranking.is_ranked(2)
+    assert ranking.unranked_indices().tolist() == [2]
+    assert ranking.as_dict() == {0: 2, 1: 1, 3: 2}
+
+
+def test_ranked_indices_sorted_by_position_then_index():
+    ranking = Ranking([2, 1, 0, 2])
+    assert ranking.ranked_indices().tolist() == [1, 0, 3]
+
+
+def test_ties_detection_and_groups():
+    tied = Ranking([1, 1, 3, 0])
+    assert tied.has_ties()
+    assert tied.tie_groups() == [[0, 1], [2]]
+    strict = Ranking([1, 2, 3])
+    assert not strict.has_ties()
+
+
+def test_from_ordered_indices():
+    ranking = Ranking.from_ordered_indices([3, 0, 2], num_tuples=5)
+    assert ranking.position_of(3) == 1
+    assert ranking.position_of(0) == 2
+    assert ranking.position_of(2) == 3
+    assert ranking.position_of(1) == UNRANKED
+    with pytest.raises(ValueError):
+        Ranking.from_ordered_indices([0, 0], num_tuples=3)
+
+
+def test_restrict_to_top():
+    ranking = Ranking([1, 2, 3, 4, 5])
+    restricted = ranking.restrict_to_top(3)
+    assert restricted.k == 3
+    assert restricted.position_of(3) == UNRANKED
+    with pytest.raises(ValueError):
+        ranking.restrict_to_top(0)
+
+
+def test_equality_and_hash():
+    a = Ranking([1, 2, 0])
+    b = Ranking([1, 2, 0])
+    c = Ranking([2, 1, 0])
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a != "not a ranking"
+
+
+def test_positions_returns_copy():
+    ranking = Ranking([1, 2, 0])
+    positions = ranking.positions
+    positions[0] = 99
+    assert ranking.position_of(0) == 1
+
+
+def test_repr_contains_k_and_n():
+    ranking = Ranking([1, 2, 0])
+    assert "k=2" in repr(ranking)
+    assert "n=3" in repr(ranking)

@@ -1,0 +1,49 @@
+"""Tests for the SynthesisResult container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import SynthesisResult
+
+
+def _result(**kwargs) -> SynthesisResult:
+    defaults = dict(
+        weights=np.array([0.6, 0.4]),
+        attributes=["a", "b"],
+        error=3,
+        objective=3.0,
+        optimal=True,
+        method="rankhow",
+        solve_time=1.25,
+        diagnostics={"k": 6},
+    )
+    defaults.update(kwargs)
+    return SynthesisResult(**defaults)
+
+
+def test_scoring_function_roundtrip():
+    result = _result()
+    function = result.scoring_function
+    assert function.attributes == ["a", "b"]
+    assert function.weights == pytest.approx([0.6, 0.4])
+
+
+def test_scoring_function_allows_baseline_negative_weights():
+    result = _result(weights=np.array([-0.1, 0.5]), method="linear_regression")
+    assert result.scoring_function.weights == pytest.approx([-0.1, 0.5])
+
+
+def test_per_tuple_error_uses_k_from_diagnostics():
+    assert _result().per_tuple_error == pytest.approx(0.5)
+    assert _result(diagnostics={}).per_tuple_error == pytest.approx(3.0)
+
+
+def test_describe_and_repr():
+    text = _result().describe()
+    assert "rankhow" in text
+    assert "error=3" in text
+    assert "optimal" in text
+    assert "feasible" in _result(optimal=False).describe()
+    assert "SynthesisResult" in repr(_result())

@@ -1,0 +1,89 @@
+"""Tests for the TREE cell-enumeration baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RankingProblem
+from repro.core.rankhow import RankHow, RankHowOptions
+from repro.core.tree import TreeOptions, TreeSolver
+from repro.data.rankings import ranking_from_scores
+from repro.data.synthetic import generate_uniform
+
+
+def _small_problem(n=18, m=3, k=3, seed=5, nonlinear=False):
+    relation = generate_uniform(n, m, seed=seed)
+    matrix = relation.matrix()
+    if nonlinear:
+        scores = np.sum(matrix**3, axis=1)
+    else:
+        weights = np.linspace(1.0, 2.0, m)
+        scores = matrix @ (weights / weights.sum())
+    return RankingProblem(relation, ranking_from_scores(scores, k=k))
+
+
+def test_tree_solves_recoverable_ranking_exactly(tiny_problem):
+    result = TreeSolver(TreeOptions()).solve(tiny_problem)
+    assert result.error == 0
+    assert result.optimal
+    assert result.method == "tree"
+
+
+def test_tree_matches_rankhow_on_small_instances():
+    problem = _small_problem(n=15, m=3, k=3, nonlinear=True)
+    tree = TreeSolver(TreeOptions()).solve(problem)
+    rankhow = RankHow(
+        RankHowOptions(node_limit=2000, warm_start_strategy="ordinal_regression")
+    ).solve(problem)
+    assert tree.optimal
+    assert rankhow.optimal
+    assert tree.error == rankhow.error
+
+
+def test_tree_linear_ranking_zero_error():
+    problem = _small_problem(n=20, m=3, k=4, nonlinear=False)
+    result = TreeSolver(TreeOptions()).solve(problem)
+    assert result.error == 0
+
+
+def test_tree_node_limit_degrades_gracefully():
+    problem = _small_problem(n=20, m=3, k=4, nonlinear=True)
+    result = TreeSolver(TreeOptions(node_limit=5)).solve(problem)
+    # With almost no budget the solver may or may not find any leaf.
+    assert result.nodes <= 5
+    assert result.error >= -1
+
+
+def test_tree_time_limit_zero_terminates():
+    problem = _small_problem(n=20, m=3, k=4, nonlinear=True)
+    result = TreeSolver(TreeOptions(time_limit=0.0)).solve(problem)
+    assert result.solve_time < 5.0
+
+
+def test_tree_without_separation_gap_explores_more_nodes():
+    """Dropping eps1 keeps more hyperplanes 'crossing' -> at least as many nodes.
+
+    This is the Section VI-B observation that the eps1 construction shrinks
+    the tree.
+    """
+    problem = _small_problem(n=14, m=3, k=3, nonlinear=True)
+    with_gap = TreeSolver(TreeOptions(use_separation_gap=True, prune_by_bound=False)).solve(problem)
+    without_gap = TreeSolver(TreeOptions(use_separation_gap=False, prune_by_bound=False)).solve(problem)
+    assert without_gap.nodes >= with_gap.nodes
+
+
+def test_tree_bfs_and_dfs_agree_on_optimum():
+    problem = _small_problem(n=14, m=3, k=3, nonlinear=True)
+    dfs = TreeSolver(TreeOptions(strategy="dfs")).solve(problem)
+    bfs = TreeSolver(TreeOptions(strategy="bfs")).solve(problem)
+    assert dfs.error == bfs.error
+
+
+def test_tree_diagnostics():
+    problem = _small_problem(n=12, m=3, k=2, nonlinear=True)
+    result = TreeSolver(TreeOptions()).solve(problem)
+    assert result.diagnostics["pairs"] + result.diagnostics["eliminated"] == (
+        problem.k * (problem.num_tuples - 1)
+    )
+    assert result.diagnostics["leaves"] >= 1

@@ -1,0 +1,63 @@
+"""Tests for derived-attribute expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.derived import (
+    add_derived_attributes,
+    add_log_attributes,
+    add_power_attributes,
+    add_product_attributes,
+    derived_attribute_names,
+)
+from repro.data.relation import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows([(1.0, 2.0), (3.0, 4.0)], ["A1", "A2"])
+
+
+def test_add_power_attributes(relation):
+    expanded, names = add_power_attributes(relation, ["A1", "A2"], power=2.0)
+    assert names == ["A1^2", "A2^2"]
+    assert expanded.column("A1^2").tolist() == [1.0, 9.0]
+    assert expanded.column("A2^2").tolist() == [4.0, 16.0]
+    # Original relation is untouched.
+    assert "A1^2" not in relation
+
+
+def test_derived_attribute_names_matches_expansion(relation):
+    _, names = add_power_attributes(relation, ["A1"], power=3.0)
+    assert names == derived_attribute_names(["A1"], power=3.0)
+
+
+def test_add_product_attributes(relation):
+    expanded, names = add_product_attributes(relation, [("A1", "A2")])
+    assert names == ["A1*A2"]
+    assert expanded.column("A1*A2").tolist() == [2.0, 12.0]
+
+
+def test_add_log_attributes(relation):
+    expanded, names = add_log_attributes(relation, ["A2"])
+    assert names == ["log1p(A2)"]
+    assert expanded.column("log1p(A2)") == pytest.approx(np.log1p([2.0, 4.0]))
+    negative = Relation.from_rows([(-1.0,)], ["A1"])
+    with pytest.raises(ValueError):
+        add_log_attributes(negative, ["A1"])
+
+
+def test_add_derived_attributes_custom_transforms(relation):
+    expanded, names = add_derived_attributes(
+        relation, ["A1"], {"sq": lambda col: col**2, "neg": lambda col: -col}
+    )
+    assert set(names) == {"sq(A1)", "neg(A1)"}
+    assert expanded.column("neg(A1)").tolist() == [-1.0, -3.0]
+
+
+def test_expansion_preserves_row_count(relation):
+    expanded, _ = add_power_attributes(relation, ["A1", "A2"], power=2.0)
+    assert expanded.num_tuples == relation.num_tuples
+    assert len(expanded.numeric_attribute_names()) == 4

@@ -1,0 +1,108 @@
+"""Tests for the synthetic NBA and CSRankings dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import UNRANKED
+from repro.data.csrankings import (
+    CSRANKINGS_AREAS,
+    csrankings_default_ranking,
+    csrankings_default_scores,
+    generate_csrankings_dataset,
+)
+from repro.data.nba import (
+    NBA_ALL_ATTRIBUTES,
+    NBA_RANKING_ATTRIBUTES,
+    generate_nba_dataset,
+    mp_per_ranking,
+    mvp_panel_ranking,
+    per_scores,
+)
+
+
+@pytest.fixture(scope="module")
+def nba():
+    return generate_nba_dataset(num_players=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def csrankings():
+    return generate_csrankings_dataset(num_institutions=120, seed=23)
+
+
+def test_nba_schema_and_ranges(nba):
+    assert nba.num_tuples == 300
+    assert nba.key == "PLR"
+    for attribute in NBA_ALL_ATTRIBUTES:
+        assert attribute in nba
+    assert np.all(nba.column("FGP") <= 1.0)
+    assert np.all(nba.column("FTP") <= 1.0)
+    assert np.all(nba.column("PTS") > 0.0)
+    assert np.all(nba.column("MP") <= 40.0 + 1e-9)
+
+
+def test_nba_reproducibility():
+    first = generate_nba_dataset(num_players=50, seed=3).matrix(NBA_RANKING_ATTRIBUTES)
+    second = generate_nba_dataset(num_players=50, seed=3).matrix(NBA_RANKING_ATTRIBUTES)
+    assert np.array_equal(first, second)
+
+
+def test_per_scores_reward_better_players(nba):
+    scores = per_scores(nba)
+    assert scores.shape == (nba.num_tuples,)
+    # Scoring should correlate strongly with points per game.
+    correlation = np.corrcoef(scores, nba.column("PTS"))[0, 1]
+    assert correlation > 0.6
+
+
+def test_mp_per_ranking_is_valid(nba):
+    ranking = mp_per_ranking(nba, k=10)
+    assert ranking.k == 10
+    assert ranking.num_tuples == nba.num_tuples
+
+
+def test_mvp_panel_ranking_structure(nba):
+    vote = mvp_panel_ranking(nba, num_voters=60, num_candidates=13, seed=1)
+    assert len(vote.candidate_indices) == 13
+    assert vote.ranking.num_tuples == 13
+    assert vote.ranking.k == 13
+    # Vote totals decrease (weakly) with position.
+    positions = vote.ranking.positions
+    order = np.argsort(positions)
+    points_in_order = vote.points[order]
+    assert np.all(np.diff(points_in_order) <= 1e-9)
+    # Only legal ballot totals are possible: every total is a non-negative
+    # combination of 10/7/5/3/1.
+    assert np.all(vote.points >= 0)
+
+
+def test_mvp_panel_deterministic_given_seed(nba):
+    first = mvp_panel_ranking(nba, num_voters=40, seed=5)
+    second = mvp_panel_ranking(nba, num_voters=40, seed=5)
+    assert np.array_equal(first.candidate_indices, second.candidate_indices)
+    assert np.array_equal(first.points, second.points)
+
+
+def test_csrankings_schema(csrankings):
+    assert csrankings.num_tuples == 120
+    assert csrankings.key == "institution"
+    assert len(CSRANKINGS_AREAS) == 27
+    for area in CSRANKINGS_AREAS:
+        assert area in csrankings
+        assert np.all(csrankings.column(area) >= 0.0)
+
+
+def test_csrankings_default_scores_reward_breadth(csrankings):
+    scores = csrankings_default_scores(csrankings)
+    assert scores.shape == (120,)
+    assert np.all(scores >= 1.0)  # geometric mean of (count + 1) is at least 1
+    totals = csrankings.matrix(CSRANKINGS_AREAS).sum(axis=1)
+    assert np.corrcoef(scores, totals)[0, 1] > 0.5
+
+
+def test_csrankings_default_ranking(csrankings):
+    ranking = csrankings_default_ranking(csrankings, k=15)
+    assert ranking.k == 15
+    assert np.sum(ranking.positions == UNRANKED) == 120 - 15

@@ -1,0 +1,129 @@
+"""Tests for given-ranking construction from scores (ties, top-k, bottom)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranking import UNRANKED
+from repro.data.rankings import (
+    competition_ranks,
+    power_sum_scorer,
+    ranking_from_scores,
+    ranking_from_scoring_function,
+    top_k_positions,
+)
+from repro.data.relation import Relation
+
+
+def test_competition_ranks_simple():
+    assert competition_ranks(np.array([9.0, 6.0, 6.0, 5.0])).tolist() == [1, 2, 2, 4]
+
+
+def test_competition_ranks_with_eps():
+    # Paper example: scores [2.2, 2.1, 2.0, 1.5] with eps = 0.3 -> [1, 1, 1, 4].
+    ranks = competition_ranks(np.array([2.2, 2.1, 2.0, 1.5]), tie_eps=0.3)
+    assert ranks.tolist() == [1, 1, 1, 4]
+
+
+def test_competition_ranks_edge_cases():
+    assert competition_ranks(np.array([])).tolist() == []
+    assert competition_ranks(np.array([5.0])).tolist() == [1]
+    assert competition_ranks(np.array([3.0, 3.0, 3.0])).tolist() == [1, 1, 1]
+    with pytest.raises(ValueError):
+        competition_ranks(np.array([1.0]), tie_eps=-1.0)
+
+
+def test_top_k_positions_basic():
+    scores = np.array([0.9, 0.1, 0.5, 0.7])
+    positions = top_k_positions(scores, k=2)
+    assert positions.tolist() == [1, UNRANKED, UNRANKED, 2]
+
+
+def test_top_k_positions_tie_at_boundary():
+    # Three tuples tied at the top, k = 2: exactly two stay ranked.
+    scores = np.array([1.0, 1.0, 1.0, 0.5])
+    positions = top_k_positions(scores, k=2)
+    ranked = positions[positions != UNRANKED]
+    assert len(ranked) == 2
+    assert set(ranked.tolist()) == {1}
+
+
+def test_top_k_positions_validation():
+    with pytest.raises(ValueError):
+        top_k_positions(np.array([1.0, 2.0]), k=0)
+    with pytest.raises(ValueError):
+        top_k_positions(np.array([1.0, 2.0]), k=3)
+
+
+def test_ranking_from_scores_is_valid_ranking():
+    scores = np.array([3.0, 1.0, 2.0, 2.0, 0.5])
+    ranking = ranking_from_scores(scores, k=4)
+    assert ranking.k == 4
+    assert ranking.position_of(0) == 1
+    assert ranking.position_of(2) == ranking.position_of(3) == 2
+    assert ranking.position_of(1) == 4
+    assert ranking.position_of(4) == UNRANKED
+
+
+def test_ranking_from_scoring_function():
+    relation = Relation.from_rows([(1, 5), (2, 1), (3, 3)], ["A1", "A2"])
+    ranking = ranking_from_scoring_function(
+        relation, ["A1", "A2"], lambda matrix: matrix[:, 0] + matrix[:, 1], k=2
+    )
+    # Sums: 6, 3, 6 -> tuples 0 and 2 are tied at the top.
+    assert ranking.position_of(0) == 1
+    assert ranking.position_of(2) == 1
+    assert ranking.position_of(1) == UNRANKED
+
+
+def test_ranking_from_scoring_function_rejects_bad_scorer():
+    relation = Relation.from_rows([(1, 5), (2, 1)], ["A1", "A2"])
+    with pytest.raises(ValueError):
+        ranking_from_scoring_function(
+            relation, ["A1", "A2"], lambda matrix: np.ones(3), k=1
+        )
+
+
+def test_power_sum_scorer():
+    scorer = power_sum_scorer(3.0)
+    assert scorer(np.array([[1.0, 2.0]])).tolist() == [9.0]
+    with pytest.raises(ValueError):
+        power_sum_scorer(0.0)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    scores=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=30
+    ),
+    data=st.data(),
+)
+def test_competition_ranks_definition_holds(scores, data):
+    """rank(r) must equal 1 + |{s : score(s) > score(r) + eps}| for every r."""
+    scores = np.asarray(scores, dtype=float)
+    tie_eps = data.draw(st.floats(min_value=0.0, max_value=5.0))
+    ranks = competition_ranks(scores, tie_eps)
+    for r in range(len(scores)):
+        beats = int(np.sum(scores - scores[r] > tie_eps))
+        assert ranks[r] == beats + 1
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    scores=st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=2, max_size=25
+    ),
+    data=st.data(),
+)
+def test_top_k_positions_always_yield_valid_rankings(scores, data):
+    """For any score vector and any k the produced positions form a valid ranking."""
+    from repro.core.ranking import Ranking
+
+    scores = np.asarray(scores, dtype=float)
+    k = data.draw(st.integers(min_value=1, max_value=len(scores)))
+    positions = top_k_positions(scores, k=k)
+    ranking = Ranking(positions)  # validation happens in the constructor
+    assert ranking.k == k

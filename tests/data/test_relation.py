@@ -1,0 +1,110 @@
+"""Tests for the in-memory relation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+
+
+@pytest.fixture
+def players() -> Relation:
+    return Relation(
+        {
+            "name": np.array(["a", "b", "c", "d"]),
+            "pts": [10.0, 20.0, 30.0, 20.0],
+            "ast": [5.0, 1.0, 2.0, 1.0],
+        },
+        key="name",
+    )
+
+
+def test_basic_accessors(players):
+    assert players.num_tuples == 4
+    assert len(players) == 4
+    assert players.key == "name"
+    assert players.attribute_names == ["name", "pts", "ast"]
+    assert players.numeric_attribute_names() == ["pts", "ast"]
+    assert "pts" in players and "reb" not in players
+    assert players.column("pts").tolist() == [10.0, 20.0, 30.0, 20.0]
+    with pytest.raises(KeyError):
+        players.column("reb")
+
+
+def test_matrix_and_row(players):
+    matrix = players.matrix(["pts", "ast"])
+    assert matrix.shape == (4, 2)
+    assert matrix[1].tolist() == [20.0, 1.0]
+    row = players.row(2)
+    assert row["name"] == "c" and row["pts"] == 30.0
+    with pytest.raises(IndexError):
+        players.row(10)
+    with pytest.raises(TypeError):
+        players.matrix(["name"])
+
+
+def test_from_matrix_and_from_rows():
+    relation = Relation.from_matrix(np.arange(6).reshape(3, 2))
+    assert relation.attribute_names == ["A1", "A2"]
+    relation_named = Relation.from_rows([(1, 2), (3, 4)], ["x", "y"])
+    assert relation_named.column("y").tolist() == [2.0, 4.0]
+    with pytest.raises(ValueError):
+        Relation.from_matrix(np.arange(6).reshape(3, 2), ["only_one"])
+    with pytest.raises(ValueError):
+        Relation.from_matrix(np.arange(3))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Relation({})
+    with pytest.raises(ValueError):
+        Relation({"a": [1, 2], "b": [1, 2, 3]})
+    with pytest.raises(ValueError):
+        Relation({"a": np.zeros((2, 2))})
+    with pytest.raises(KeyError):
+        Relation({"a": [1, 2]}, key="missing")
+
+
+def test_project_take_head(players):
+    projected = players.project(["pts"])
+    assert projected.attribute_names == ["pts"]
+    assert projected.key is None
+    taken = players.take([2, 0])
+    assert taken.column("name").tolist() == ["c", "a"]
+    assert players.head(2).num_tuples == 2
+    assert players.head(100).num_tuples == 4
+
+
+def test_with_column(players):
+    extended = players.with_column("reb", [1.0, 2.0, 3.0, 4.0])
+    assert "reb" in extended
+    assert "reb" not in players  # original untouched
+    with pytest.raises(ValueError):
+        players.with_column("reb", [1.0])
+
+
+def test_drop_duplicates():
+    relation = Relation({"a": [1.0, 1.0, 2.0], "b": [3.0, 3.0, 4.0]})
+    deduplicated = relation.drop_duplicates()
+    assert deduplicated.num_tuples == 2
+    # Only considering column "a", the first two rows are duplicates too.
+    assert relation.drop_duplicates(["a"]).num_tuples == 2
+
+
+def test_normalized(players):
+    normalized = players.normalized(["pts", "ast"])
+    pts = normalized.column("pts")
+    assert pts.min() == pytest.approx(0.0)
+    assert pts.max() == pytest.approx(1.0)
+    # Order is preserved by min-max scaling.
+    assert np.argsort(pts).tolist() == np.argsort(players.column("pts")).tolist()
+
+
+def test_normalized_constant_column():
+    relation = Relation({"a": [2.0, 2.0, 2.0]})
+    assert relation.normalized().column("a").tolist() == [0.0, 0.0, 0.0]
+
+
+def test_repr_mentions_size(players):
+    assert "n=4" in repr(players)

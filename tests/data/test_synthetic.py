@@ -1,0 +1,75 @@
+"""Tests for the uniform / correlated / anti-correlated generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_synthetic,
+    generate_uniform,
+)
+
+
+@pytest.mark.parametrize(
+    "generator", [generate_uniform, generate_correlated, generate_anticorrelated]
+)
+def test_shapes_names_and_range(generator):
+    relation = generator(200, 4, seed=1)
+    assert relation.num_tuples == 200
+    assert relation.attribute_names == ["A1", "A2", "A3", "A4"]
+    matrix = relation.matrix()
+    assert matrix.shape == (200, 4)
+    assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+
+@pytest.mark.parametrize(
+    "generator", [generate_uniform, generate_correlated, generate_anticorrelated]
+)
+def test_reproducible_with_seed(generator):
+    first = generator(50, 3, seed=9).matrix()
+    second = generator(50, 3, seed=9).matrix()
+    third = generator(50, 3, seed=10).matrix()
+    assert np.array_equal(first, second)
+    assert not np.array_equal(first, third)
+
+
+def test_correlated_attributes_are_positively_correlated():
+    matrix = generate_correlated(3000, 4, seed=2).matrix()
+    correlation = np.corrcoef(matrix, rowvar=False)
+    off_diagonal = correlation[~np.eye(4, dtype=bool)]
+    assert np.all(off_diagonal > 0.5)
+
+
+def test_anticorrelated_halves_are_negatively_correlated():
+    matrix = generate_anticorrelated(3000, 4, seed=2).matrix()
+    correlation = np.corrcoef(matrix, rowvar=False)
+    # Attributes from different halves should be negatively correlated.
+    assert correlation[0, 2] < -0.3
+    assert correlation[1, 3] < -0.3
+    # Attributes within a half move together.
+    assert correlation[0, 1] > 0.3
+
+
+def test_uniform_attributes_are_roughly_independent():
+    matrix = generate_uniform(3000, 3, seed=4).matrix()
+    correlation = np.corrcoef(matrix, rowvar=False)
+    off_diagonal = correlation[~np.eye(3, dtype=bool)]
+    assert np.all(np.abs(off_diagonal) < 0.1)
+
+
+def test_dispatch_by_name():
+    for name in ("uniform", "correlated", "anticorrelated", "anti-correlated"):
+        relation = generate_synthetic(name, 10, 3, seed=0)
+        assert relation.num_tuples == 10
+    with pytest.raises(ValueError):
+        generate_synthetic("zipfian", 10, 3)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        generate_correlated(10, 3, correlation=1.5)
+    with pytest.raises(ValueError):
+        generate_anticorrelated(10, 3, strength=-0.1)

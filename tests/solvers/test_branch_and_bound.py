@@ -1,0 +1,144 @@
+"""Tests for the branch-and-bound MILP solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.branch_and_bound import BranchAndBoundSolver, SolverOptions
+from repro.solvers.milp import MILPModel, MILPStatus
+
+
+def _knapsack(values, weights, capacity) -> MILPModel:
+    """0/1 knapsack as a minimization MILP (negated values)."""
+    model = MILPModel()
+    items = [model.add_binary(objective=-float(v), name=f"item{i}") for i, v in enumerate(values)]
+    model.add_constraint(
+        {item: float(w) for item, w in zip(items, weights)}, "<=", float(capacity)
+    )
+    return model
+
+
+def test_knapsack_optimum():
+    model = _knapsack(values=[10, 13, 7, 8], weights=[3, 4, 2, 3], capacity=6)
+    solution = BranchAndBoundSolver().solve(model)
+    assert solution.status is MILPStatus.OPTIMAL
+    # Best subset: items 1 and 2 (value 20) beats 0+3 (18) and 0+2 (17).
+    assert solution.objective == pytest.approx(-20.0)
+
+
+def test_all_binary_equality():
+    # Exactly two of three binaries must be one; minimize x0 + 2 x1 + 3 x2.
+    model = MILPModel()
+    b = [model.add_binary(objective=float(i + 1)) for i in range(3)]
+    model.add_constraint({var: 1.0 for var in b}, "==", 2.0)
+    solution = BranchAndBoundSolver().solve(model)
+    assert solution.status is MILPStatus.OPTIMAL
+    assert solution.objective == pytest.approx(3.0)
+    assert round(solution.x[b[2]]) == 0
+
+
+def test_mixed_integer_continuous():
+    # min -x - 10 d  s.t.  x <= 0.7 + 0.3 d, x in [0,1], d binary.
+    model = MILPModel()
+    x = model.add_continuous(upper=1.0, objective=-1.0)
+    d = model.add_binary(objective=-10.0)
+    model.add_constraint({x: 1.0, d: -0.3}, "<=", 0.7)
+    solution = BranchAndBoundSolver().solve(model)
+    assert solution.status is MILPStatus.OPTIMAL
+    assert solution.objective == pytest.approx(-11.0)
+    assert solution.x[x] == pytest.approx(1.0)
+
+
+def test_infeasible_model():
+    model = MILPModel()
+    d = model.add_binary()
+    model.add_constraint({d: 1.0}, ">=", 2.0)
+    solution = BranchAndBoundSolver().solve(model)
+    assert solution.status is MILPStatus.INFEASIBLE
+    assert not solution.has_solution
+
+
+def test_indicator_constraints_respected():
+    # delta = 1 => x >= 0.6, delta = 0 => x <= 0.4; maximize x (min -x) while
+    # forcing delta = 0 through a constraint: the optimum is x = 0.4.
+    model = MILPModel()
+    x = model.add_continuous(upper=1.0, objective=-1.0)
+    d = model.add_binary()
+    model.add_indicator(d, 1, {x: 1.0}, ">=", 0.6, big_m=1.0)
+    model.add_indicator(d, 0, {x: 1.0}, "<=", 0.4, big_m=1.0)
+    model.add_constraint({d: 1.0}, "<=", 0.0)
+    solution = BranchAndBoundSolver().solve(model)
+    assert solution.status is MILPStatus.OPTIMAL
+    assert solution.objective == pytest.approx(-0.4)
+
+
+def test_node_limit_reports_feasible_or_no_solution():
+    model = _knapsack(values=list(range(1, 11)), weights=[1] * 10, capacity=5)
+    options = SolverOptions(node_limit=1)
+    solution = BranchAndBoundSolver(options).solve(model)
+    assert solution.status in (
+        MILPStatus.FEASIBLE,
+        MILPStatus.OPTIMAL,
+        MILPStatus.NO_SOLUTION,
+    )
+    assert solution.nodes <= 1
+
+
+def test_initial_incumbent_is_used():
+    model = _knapsack(values=[5, 4], weights=[1, 1], capacity=1)
+    incumbent = np.array([1.0, 0.0])  # value 5 - already optimal
+    options = SolverOptions(initial_incumbent=incumbent, node_limit=0)
+    solution = BranchAndBoundSolver(options).solve(model)
+    assert solution.has_solution
+    assert solution.objective == pytest.approx(-5.0)
+
+
+def test_incumbent_callback_is_honoured():
+    calls = {"count": 0}
+
+    def callback(x_relax, model):
+        calls["count"] += 1
+        candidate = np.zeros(model.num_vars)
+        candidate[0] = 1.0  # item 0 alone is feasible
+        return candidate
+
+    model = _knapsack(values=[5, 4, 3], weights=[2, 2, 2], capacity=3)
+    options = SolverOptions(incumbent_callback=callback)
+    solution = BranchAndBoundSolver(options).solve(model)
+    assert calls["count"] >= 1
+    assert solution.has_solution
+    assert solution.objective <= -5.0 + 1e-9
+
+
+def test_depth_first_matches_best_first():
+    model_a = _knapsack(values=[4, 7, 5, 9, 3], weights=[2, 3, 2, 4, 1], capacity=7)
+    best_first = BranchAndBoundSolver(SolverOptions(search="best_first")).solve(model_a)
+    model_b = _knapsack(values=[4, 7, 5, 9, 3], weights=[2, 3, 2, 4, 1], capacity=7)
+    depth_first = BranchAndBoundSolver(SolverOptions(search="depth_first")).solve(model_b)
+    assert best_first.status is MILPStatus.OPTIMAL
+    assert depth_first.status is MILPStatus.OPTIMAL
+    assert best_first.objective == pytest.approx(depth_first.objective)
+
+
+def test_gap_tolerance_allows_early_proof_for_integer_objectives():
+    model = _knapsack(values=[6, 5, 4], weights=[3, 2, 2], capacity=4)
+    options = SolverOptions(gap_tolerance=1.0 - 1e-6)
+    solution = BranchAndBoundSolver(options).solve(model)
+    assert solution.status is MILPStatus.OPTIMAL
+    assert solution.objective == pytest.approx(-9.0)
+
+
+def test_pseudo_objective_branching_rule():
+    model = _knapsack(values=[10, 13, 7, 8], weights=[3, 4, 2, 3], capacity=6)
+    options = SolverOptions(branching="pseudo_objective")
+    solution = BranchAndBoundSolver(options).solve(model)
+    assert solution.status is MILPStatus.OPTIMAL
+    assert solution.objective == pytest.approx(-20.0)
+
+
+def test_time_limit_zero_terminates_quickly():
+    model = _knapsack(values=list(range(1, 13)), weights=[1] * 12, capacity=6)
+    options = SolverOptions(time_limit=0.0)
+    solution = BranchAndBoundSolver(options).solve(model)
+    assert solution.nodes <= 1

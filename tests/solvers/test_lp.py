@@ -1,0 +1,161 @@
+"""Tests for the general LP model and its two backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.lp import LinearProgram, LPStatus
+
+
+def _basic_lp() -> LinearProgram:
+    lp = LinearProgram(2)
+    lp.set_objective([1.0, 2.0])
+    lp.add_constraint([1.0, 1.0], ">=", 1.0)
+    lp.set_bounds(0, lower=0.0, upper=1.0)
+    lp.set_bounds(1, lower=0.0, upper=1.0)
+    return lp
+
+
+@pytest.mark.parametrize("method", ["scipy", "simplex", "auto"])
+def test_basic_minimization(method):
+    solution = _basic_lp().solve(method=method)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(1.0)
+    assert solution.x[0] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("method", ["scipy", "simplex"])
+def test_infeasible(method):
+    lp = LinearProgram(1)
+    lp.add_constraint([1.0], ">=", 2.0)
+    lp.set_bounds(0, lower=0.0, upper=1.0)
+    assert lp.solve(method=method).status is LPStatus.INFEASIBLE
+
+
+@pytest.mark.parametrize("method", ["scipy", "simplex"])
+def test_unbounded(method):
+    lp = LinearProgram(1)
+    lp.set_objective([-1.0])
+    lp.set_bounds(0, lower=0.0, upper=float("inf"))
+    assert lp.solve(method=method).status is LPStatus.UNBOUNDED
+
+
+@pytest.mark.parametrize("method", ["scipy", "simplex"])
+def test_equality_constraint(method):
+    lp = LinearProgram(3)
+    lp.set_objective([1.0, 2.0, 3.0])
+    lp.add_constraint([1.0, 1.0, 1.0], "==", 1.0)
+    solution = lp.solve(method=method)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(1.0)
+    assert solution.x[0] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("method", ["scipy", "simplex"])
+def test_free_variable(method):
+    # min x with x free and x >= -3 via a constraint -> optimum -3.
+    lp = LinearProgram(1)
+    lp.set_objective([1.0])
+    lp.set_bounds(0, lower=-float("inf"), upper=float("inf"))
+    lp.add_constraint([1.0], ">=", -3.0)
+    solution = lp.solve(method=method)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(-3.0)
+
+
+@pytest.mark.parametrize("method", ["scipy", "simplex"])
+def test_negative_lower_bound(method):
+    lp = LinearProgram(2)
+    lp.set_objective([1.0, 1.0])
+    lp.set_all_bounds(np.array([-2.0, -1.0]), np.array([5.0, 5.0]))
+    lp.add_constraint([1.0, 1.0], ">=", -2.5)
+    solution = lp.solve(method=method)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(-2.5)
+
+
+@pytest.mark.parametrize("method", ["scipy", "simplex"])
+def test_upper_bound_only_variable(method):
+    # Variable with bounds (-inf, 2]: minimize -x -> optimum at x = 2.
+    lp = LinearProgram(1)
+    lp.set_objective([-1.0])
+    lp.set_bounds(0, lower=-float("inf"), upper=2.0)
+    solution = lp.solve(method=method)
+    assert solution.is_optimal
+    assert solution.x[0] == pytest.approx(2.0)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        LinearProgram(0)
+    lp = LinearProgram(2)
+    with pytest.raises(ValueError):
+        lp.set_objective([1.0])
+    with pytest.raises(ValueError):
+        lp.add_constraint([1.0], "<=", 0.0)
+    with pytest.raises(ValueError):
+        lp.add_constraint([1.0, 2.0], "<<", 0.0)
+    with pytest.raises(IndexError):
+        lp.set_bounds(5, lower=0.0)
+    with pytest.raises(ValueError):
+        lp.solve(method="gurobi")
+
+
+def test_matrix_views():
+    lp = LinearProgram(2)
+    lp.add_constraint([1.0, 0.0], "<=", 3.0)
+    lp.add_constraint([0.0, 1.0], ">=", 1.0)
+    lp.add_constraint([1.0, 1.0], "==", 2.0)
+    a_ub, b_ub = lp.inequality_matrix()
+    a_eq, b_eq = lp.equality_matrix()
+    assert a_ub.shape == (2, 2)
+    # The >= row is flipped into a <= row.
+    assert b_ub.tolist() == [3.0, -1.0]
+    assert a_eq.shape == (1, 2)
+    assert b_eq.tolist() == [2.0]
+
+
+def test_copy_is_independent():
+    lp = _basic_lp()
+    clone = lp.copy()
+    clone.set_bounds(0, lower=0.5)
+    clone.add_constraint([1.0, 0.0], "<=", 0.75)
+    assert lp.lower_bounds[0] == 0.0
+    assert len(lp.constraints) == 1
+    assert len(clone.constraints) == 2
+
+
+def test_simplex_weight_vector_problem():
+    """The archetypal RankHow sub-problem: weights on a simplex."""
+    lp = LinearProgram(3)
+    lp.set_objective([0.0, 0.0, 1.0])
+    lp.set_all_bounds(np.zeros(3), np.ones(3))
+    lp.add_constraint([1.0, 1.0, 1.0], "==", 1.0)
+    lp.add_constraint([1.0, -1.0, 0.0], ">=", 0.2)
+    for method in ("scipy", "simplex"):
+        solution = lp.solve(method=method)
+        assert solution.is_optimal
+        assert solution.x[2] == pytest.approx(0.0, abs=1e-8)
+        assert solution.x.sum() == pytest.approx(1.0)
+        assert solution.x[0] - solution.x[1] >= 0.2 - 1e-8
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_backends_agree_on_random_bounded_problems(seed):
+    rng = np.random.default_rng(seed)
+    num_vars = int(rng.integers(2, 6))
+    lp = LinearProgram(num_vars)
+    lp.set_objective(rng.uniform(-1.0, 1.0, size=num_vars))
+    lp.set_all_bounds(np.zeros(num_vars), np.ones(num_vars))
+    for _ in range(int(rng.integers(1, 4))):
+        row = rng.uniform(-1.0, 1.0, size=num_vars)
+        # Right-hand side chosen so that the all-0.5 point stays feasible.
+        lp.add_constraint(row, "<=", float(row @ (np.full(num_vars, 0.5)) + 0.1))
+    ours = lp.solve(method="simplex")
+    reference = lp.solve(method="scipy")
+    assert ours.is_optimal and reference.is_optimal
+    assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

@@ -1,0 +1,151 @@
+"""Tests for the two-phase standard-form simplex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.simplex import SimplexStatus, solve_standard_form
+
+
+def test_simple_optimum():
+    # max x1 + 2 x2 s.t. x1 + x2 <= 4, x1 + 3 x2 <= 6 -> optimum (3, 1), value 5.
+    c = np.array([-1.0, -2.0, 0.0, 0.0])
+    a = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 3.0, 0.0, 1.0]])
+    b = np.array([4.0, 6.0])
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.objective == pytest.approx(-5.0)
+    assert result.x[0] == pytest.approx(3.0)
+    assert result.x[1] == pytest.approx(1.0)
+
+
+def test_equality_only_unique_solution():
+    # x1 + x2 = 2, x1 - x2 = 0 -> x = (1, 1); objective arbitrary
+    c = np.array([1.0, 1.0])
+    a = np.array([[1.0, 1.0], [1.0, -1.0]])
+    b = np.array([2.0, 0.0])
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.x == pytest.approx([1.0, 1.0])
+
+
+def test_infeasible_detected():
+    # x1 = -1 with x1 >= 0 is infeasible.
+    c = np.array([1.0])
+    a = np.array([[1.0]])
+    b = np.array([-1.0])
+    result = solve_standard_form(c, a, b)
+    assert result.status is SimplexStatus.INFEASIBLE
+
+
+def test_unbounded_detected():
+    # min -x1 s.t. x1 - x2 = 0: both can grow without bound.
+    c = np.array([-1.0, 0.0])
+    a = np.array([[1.0, -1.0]])
+    b = np.array([0.0])
+    result = solve_standard_form(c, a, b)
+    assert result.status is SimplexStatus.UNBOUNDED
+
+
+def test_degenerate_problem_terminates():
+    # Multiple constraints meeting at the same vertex (classic degeneracy).
+    c = np.array([-1.0, -1.0, 0.0, 0.0, 0.0])
+    a = np.array(
+        [
+            [1.0, 0.0, 1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 1.0, 0.0],
+            [1.0, 1.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    b = np.array([1.0, 1.0, 1.0])
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.objective == pytest.approx(-1.0)
+
+
+def test_negative_rhs_rows_are_normalized():
+    # Same problem as test_simple_optimum but with a row multiplied by -1.
+    c = np.array([-1.0, -2.0, 0.0, 0.0])
+    a = np.array([[-1.0, -1.0, -1.0, 0.0], [1.0, 3.0, 0.0, 1.0]])
+    b = np.array([-4.0, 6.0])
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.objective == pytest.approx(-5.0)
+
+
+def test_zero_rows_problem():
+    c = np.array([2.0, 3.0])
+    a = np.zeros((0, 2))
+    b = np.zeros(0)
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.objective == pytest.approx(0.0)
+
+
+def test_redundant_constraints():
+    # Duplicated rows should not break phase 1 / basis repair.
+    c = np.array([1.0, 1.0])
+    a = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+    b = np.array([2.0, 2.0, 4.0])
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.objective == pytest.approx(2.0)
+
+
+def test_dimension_mismatch_raises():
+    with pytest.raises(ValueError):
+        solve_standard_form(np.ones(2), np.ones((1, 3)), np.ones(1))
+    with pytest.raises(ValueError):
+        solve_standard_form(np.ones(3), np.ones((2, 3)), np.ones(1))
+    with pytest.raises(ValueError):
+        solve_standard_form(np.ones(3), np.ones(3), np.ones(1))
+
+
+def test_solution_is_feasible_and_nonnegative():
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0.0, 1.0, size=(3, 6))
+    x_feasible = rng.uniform(0.1, 1.0, size=6)
+    b = a @ x_feasible
+    c = rng.uniform(-1.0, 1.0, size=6)
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert np.all(result.x >= -1e-8)
+    assert np.allclose(a @ result.x, b, atol=1e-6)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_rows=st.integers(min_value=1, max_value=4),
+    n_vars=st.integers(min_value=2, max_value=7),
+)
+def test_matches_scipy_on_random_feasible_problems(seed, n_rows, n_vars):
+    """The built-in simplex and HiGHS agree on the optimal objective."""
+    from scipy.optimize import linprog
+
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n_rows, n_vars))
+    x_feasible = rng.uniform(0.0, 1.0, size=n_vars)
+    b = a @ x_feasible
+    c = rng.uniform(-1.0, 1.0, size=n_vars)
+    # Bound the feasible region so the problem cannot be unbounded.
+    a_full = np.vstack([a, np.ones((1, n_vars))])
+    a_full = np.hstack([a_full, np.zeros((n_rows + 1, 1))])
+    a_full[-1, -1] = 1.0  # slack for the bounding row
+    b_full = np.append(b, n_vars + 1.0)
+    c_full = np.append(c, 0.0)
+
+    ours = solve_standard_form(c_full, a_full, b_full)
+    reference = linprog(
+        c_full,
+        A_eq=a_full,
+        b_eq=b_full,
+        bounds=[(0, None)] * (n_vars + 1),
+        method="highs",
+    )
+    assert ours.is_optimal
+    assert reference.status == 0
+    assert ours.objective == pytest.approx(reference.fun, abs=1e-6)

@@ -1,0 +1,60 @@
+"""Package-level tests: public API surface and example scripts."""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+def test_version_and_public_api():
+    assert repro.__version__ == "1.0.0"
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.solvers",
+        "repro.data",
+        "repro.baselines",
+        "repro.bench",
+        "repro.bench.experiments",
+    ],
+)
+def test_submodules_importable(module):
+    imported = importlib.import_module(module)
+    assert imported is not None
+    for name in getattr(imported, "__all__", []):
+        assert hasattr(imported, name), f"{module}.{name} missing"
+
+
+def test_examples_are_importable_scripts():
+    examples_dir = pathlib.Path(__file__).resolve().parents[1] / "examples"
+    scripts = sorted(examples_dir.glob("*.py"))
+    assert len(scripts) >= 3
+    for script in scripts:
+        source = script.read_text()
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source
+        compile(source, str(script), "exec")  # syntax check
+
+
+def test_quickstart_example_runs_end_to_end():
+    examples_dir = pathlib.Path(__file__).resolve().parents[1] / "examples"
+    completed = subprocess.run(
+        [sys.executable, str(examples_dir / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "Exact RankHow" in completed.stdout
+    assert "SYM-GD" in completed.stdout
