@@ -25,6 +25,12 @@ Sub-packages:
 * :mod:`repro.data` -- the relational substrate and dataset generators.
 * :mod:`repro.baselines` -- the competitors of Section VI.
 * :mod:`repro.bench` -- the experiment harness reproducing every table/figure.
+* :mod:`repro.engine` -- executors, fingerprints, and the result cache.
+* :mod:`repro.service` -- the async, coalescing, batching query front-end.
+
+The engine and service layers are exported lazily (``repro.SolveEngine``,
+``repro.QueryServer``) so that importing :mod:`repro` stays as light as the
+core algorithms.
 """
 
 from repro.core import (
@@ -79,5 +85,28 @@ __all__ = [
     "position_error",
     "solve_exact",
     "verify_weights",
+    "SolveEngine",
+    "ResultCache",
+    "QueryServer",
+    "QueryServerOptions",
     "__version__",
 ]
+
+#: Lazily resolved attributes -> (module, attribute).
+_LAZY_EXPORTS = {
+    "SolveEngine": ("repro.engine", "SolveEngine"),
+    "ResultCache": ("repro.engine", "ResultCache"),
+    "QueryServer": ("repro.service", "QueryServer"),
+    "QueryServerOptions": ("repro.service", "QueryServerOptions"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value

@@ -41,17 +41,100 @@ class SamplingOptions:
     concentration: float = 1.0
     seed: int = 0
     include_corners: bool = True
+    chunk_size: int = 500
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable representation (for fingerprinting)."""
+        return {
+            "num_samples": int(self.num_samples),
+            "time_limit": None if self.time_limit is None else float(self.time_limit),
+            "concentration": float(self.concentration),
+            "seed": int(self.seed),
+            "include_corners": bool(self.include_corners),
+            "chunk_size": int(self.chunk_size),
+        }
+
+
+def _sampling_chunk(payload: tuple) -> dict:
+    """Evaluate one deterministic chunk of samples (picklable for pools).
+
+    Each chunk owns an independent random stream seeded by
+    ``(options.seed, chunk_index)``, so the set of sampled vectors -- and
+    therefore the merged best -- does not depend on the executor backend or
+    the worker count.  Chunk 0 mirrors the serial path exactly (uniform as
+    the uncounted baseline, corners evaluated last-first), so tie-breaking
+    matches the serial search.
+    """
+    problem, options, chunk_index, num_samples = payload
+    rng = np.random.default_rng([options.seed, chunk_index])
+    m = problem.num_attributes
+    best_error = np.inf
+    best_weights: np.ndarray | None = None
+    evaluated = 0
+    rejected = 0
+
+    candidates: list[np.ndarray] = []
+    if chunk_index == 0:
+        uniform = np.full(m, 1.0 / m)
+        if problem.weights_feasible(uniform):
+            best_error = problem.error_of(uniform)
+            best_weights = uniform
+        if options.include_corners:
+            candidates.extend(np.eye(m))
+    draws = 0
+    while draws < num_samples or candidates:
+        if candidates:
+            weights = candidates.pop()
+        else:
+            weights = rng.dirichlet(np.full(m, options.concentration))
+            draws += 1
+        if not problem.weights_feasible(weights):
+            rejected += 1
+            continue
+        error = problem.error_of(weights)
+        evaluated += 1
+        if error < best_error:
+            best_error = error
+            best_weights = np.asarray(weights, dtype=float)
+            if best_error == 0:
+                # Nothing can beat error 0 under the strict-< merge; stopping
+                # early is deterministic per chunk, so backend parity holds.
+                break
+    return {
+        "best_error": float(best_error),
+        "best_weights": best_weights,
+        "evaluated": evaluated,
+        "rejected": rejected,
+    }
 
 
 class SamplingBaseline:
     """Best-of-random-weights search under the problem constraints."""
 
-    def __init__(self, options: SamplingOptions | None = None) -> None:
+    def __init__(
+        self,
+        options: SamplingOptions | None = None,
+        executor=None,
+    ) -> None:
+        """Create the baseline.
+
+        Args:
+            options: Sampling configuration.
+            executor: Anything exposing ``map_cells(fn, items)`` (see
+                :mod:`repro.engine.executor`).  When given and no wall-clock
+                budget is set, the sample budget is split into fixed-size
+                chunks evaluated in parallel; results are identical for every
+                backend.  Time-budgeted runs stay on the serial path because a
+                wall-clock budget is inherently order-dependent.
+        """
         self.options = options or SamplingOptions()
+        self.executor = executor
 
     def solve(self, problem: RankingProblem) -> SynthesisResult:
         """Draw weight vectors, keep the best feasible one."""
         options = self.options
+        if self.executor is not None and options.time_limit is None:
+            return self._solve_chunked(problem)
         start = time.perf_counter()
         rng = np.random.default_rng(options.seed)
         m = problem.num_attributes
@@ -111,5 +194,52 @@ class SamplingBaseline:
                 "evaluated": evaluated,
                 "rejected": rejected,
                 "num_samples": options.num_samples,
+            },
+        )
+
+    def _solve_chunked(self, problem: RankingProblem) -> SynthesisResult:
+        """Parallel path: fixed-size sample chunks fanned out over the executor."""
+        options = self.options
+        start = time.perf_counter()
+        chunk_size = max(int(options.chunk_size), 1)
+        num_chunks = max(-(-options.num_samples // chunk_size), 1)
+        payloads = []
+        remaining = options.num_samples
+        for chunk_index in range(num_chunks):
+            take = min(chunk_size, remaining)
+            payloads.append((problem, options, chunk_index, take))
+            remaining -= take
+        outcomes = list(self.executor.map_cells(_sampling_chunk, payloads))
+
+        m = problem.num_attributes
+        best_weights = np.full(m, 1.0 / m)
+        best_error = np.inf
+        evaluated = 0
+        rejected = 0
+        # Strict less-than keeps the earliest chunk on ties, making the merged
+        # result independent of the backend and worker count.
+        for outcome in outcomes:
+            evaluated += outcome["evaluated"]
+            rejected += outcome["rejected"]
+            if outcome["best_weights"] is not None and outcome["best_error"] < best_error:
+                best_error = outcome["best_error"]
+                best_weights = outcome["best_weights"]
+        if not np.isfinite(best_error):
+            best_error = problem.error_of(best_weights)
+        return SynthesisResult(
+            weights=np.asarray(best_weights, dtype=float),
+            attributes=list(problem.attributes),
+            error=int(best_error),
+            objective=float(best_error),
+            optimal=False,
+            method="sampling",
+            solve_time=time.perf_counter() - start,
+            iterations=evaluated,
+            diagnostics={
+                "k": problem.k,
+                "evaluated": evaluated,
+                "rejected": rejected,
+                "num_samples": options.num_samples,
+                "chunks": num_chunks,
             },
         )

@@ -13,6 +13,7 @@ defaults come from :class:`~repro.bench.harness.BenchmarkScale`.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import replace
 
@@ -46,6 +47,7 @@ __all__ = [
     "experiment_fig3i_cell_size",
     "experiment_fig3jkl_scalability",
     "experiment_fig3mno_derived",
+    "experiment_engine_throughput",
 ]
 
 #: Methods compared in the exact-OPT figures (AdaRank is added for CSRankings,
@@ -169,7 +171,14 @@ def _run_methods_on_problem(
 
     The exact solver runs last, warm-started with the best competitor solution
     (its MIP start) -- the role the paper delegates to Gurobi's built-in
-    primal heuristics.
+    primal heuristics.  The competitor solution is first tightened by a short
+    adaptive SYM-GD descent: with the benchmark-scale node budgets the
+    branch-and-bound often cannot close the gap between the raw competitor
+    incumbent and the true optimum on small instances (the truncated search
+    used to report a *higher* per-tuple error at k=2 than at k=5, inverting
+    the paper's error-grows-with-k trend), while the descent reaches the
+    optimum in a few local solves and can never return something worse than
+    its seed.
     """
     ordered = [name for name in methods if name != "rankhow"]
     results: dict[str, object] = {}
@@ -182,8 +191,31 @@ def _run_methods_on_problem(
             best_error = result.error
             best_weights = result.weights
     if "rankhow" in methods:
-        exact_budget = replace(budget, warm_start=best_weights)
-        results["rankhow"] = run_method("rankhow", problem, exact_budget)
+        warm_start = best_weights
+        refine_time = 0.0
+        if best_weights is not None and best_error is not None and best_error > 0:
+            refined = SymGD(
+                SymGDOptions(
+                    cell_size=0.1,
+                    adaptive=True,
+                    time_limit=min(6.0, budget.time_limit or 6.0),
+                    seed_point=best_weights,
+                    solver_options=RankHowOptions(
+                        node_limit=max(budget.node_limit, 150),
+                        verify=False,
+                        warm_start_strategy="none",
+                    ),
+                )
+            ).solve(problem)
+            refine_time = refined.solve_time
+            if 0 <= refined.error <= best_error:
+                warm_start = refined.weights
+        exact_budget = replace(budget, warm_start=warm_start)
+        result = run_method("rankhow", problem, exact_budget)
+        # The refinement is part of rankhow's primal-heuristic cost (the role
+        # Gurobi's heuristics play inside the paper's reported solve times),
+        # so its wall clock is attributed to the rankhow record.
+        results["rankhow"] = replace(result, solve_time=result.solve_time + refine_time)
     return results
 
 
@@ -508,6 +540,116 @@ def experiment_fig3jkl_scalability(
                     result,
                 )
             )
+    return records
+
+
+# -- E11: engine throughput / latency ----------------------------------------------
+
+
+def experiment_engine_throughput(
+    scale: BenchmarkScale | None = None,
+    backends: Sequence[str] = ("serial", "process"),
+    num_seeds: int = 6,
+    num_queries: int = 12,
+    distinct_queries: int = 3,
+    num_tuples: int | None = None,
+) -> list[ExperimentRecord]:
+    """Throughput of the execution substrate (not a figure of the paper).
+
+    Two workloads per backend:
+
+    * ``multiseed`` -- one multi-seed SYM-GD run (``num_seeds`` independent
+      descents); the per-seed descents are what the executor parallelizes, so
+      ``serial`` vs ``process`` wall-clock is the speedup of interest.
+    * ``queries_cold`` / ``queries_warm`` -- the same batch of how-to-rank
+      requests solved twice through one :class:`~repro.engine.SolveEngine`;
+      the warm pass must be answered entirely from the result cache without
+      invoking any solver.
+
+    Every record carries the achieved error so backend parity (identical
+    results regardless of backend) can be asserted by the benchmark wrapper.
+    """
+    from repro.engine import SolveEngine, SolveRequest, available_cpu_count
+
+    scale = scale or BenchmarkScale.from_environment()
+    if num_tuples is None:
+        num_tuples = max(scale.nba_tuples // 2, 60)
+    problem = nba_problem(num_tuples=num_tuples, num_attributes=5, k=5)
+    symgd_options = SymGDOptions(
+        cell_size=0.1,
+        adaptive=False,
+        max_iterations=12,
+        solver_options=RankHowOptions(
+            node_limit=200, verify=False, warm_start_strategy="none"
+        ),
+    )
+    query_params = {
+        "cell_size": 0.1,
+        "max_iterations": 8,
+        "solver_options": {
+            "node_limit": 150,
+            "verify": False,
+            "warm_start_strategy": "none",
+        },
+    }
+    query_problems = [
+        nba_problem(num_tuples=num_tuples, num_attributes=5, k=3 + index)
+        for index in range(distinct_queries)
+    ]
+    requests = [
+        SolveRequest(query_problems[index % distinct_queries], "symgd", query_params)
+        for index in range(num_queries)
+    ]
+
+    records = []
+    for backend in backends:
+        with SolveEngine(backend=backend) as engine:
+            start = time.perf_counter()
+            multiseed = engine.multi_seed_symgd(
+                problem, options=symgd_options, num_seeds=num_seeds
+            )
+            multiseed_wall = time.perf_counter() - start
+            records.append(
+                ExperimentRecord(
+                    experiment="engine",
+                    dataset="nba",
+                    method=f"multiseed[{backend}]",
+                    params={"num_seeds": num_seeds, "backend": backend},
+                    error=float(multiseed.error),
+                    per_tuple_error=float(multiseed.error) / max(problem.k, 1),
+                    time_seconds=multiseed_wall,
+                    extra={
+                        "workers": engine.executor.max_workers,
+                        "cpus": available_cpu_count(),
+                        "per_seed_errors": multiseed.diagnostics["per_seed_errors"],
+                    },
+                )
+            )
+
+            for phase in ("queries_cold", "queries_warm"):
+                start = time.perf_counter()
+                outcomes = engine.solve_batch(requests)
+                wall = time.perf_counter() - start
+                records.append(
+                    ExperimentRecord(
+                        experiment="engine",
+                        dataset="nba",
+                        method=f"{phase}[{backend}]",
+                        params={
+                            "queries": num_queries,
+                            "distinct": distinct_queries,
+                            "backend": backend,
+                        },
+                        error=float(max(o.result.error for o in outcomes)),
+                        per_tuple_error=0.0,
+                        time_seconds=wall,
+                        extra={
+                            "cache_hits": sum(o.cache_hit for o in outcomes),
+                            "solver_invocations": engine.solver_invocations,
+                            "throughput": num_queries / wall if wall > 0 else 0.0,
+                        },
+                    )
+                )
     return records
 
 

@@ -16,13 +16,20 @@ an upper bound on its position error.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.problem import RankingProblem
 
-__all__ = ["Cell", "cell_around", "grid_cells", "cell_error_bounds"]
+__all__ = [
+    "Cell",
+    "cell_around",
+    "grid_cells",
+    "cell_error_bounds",
+    "cell_error_bounds_many",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,20 @@ class Cell:
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         return self.lower.copy(), self.upper.copy()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse: :meth:`from_dict`)."""
+        return {
+            "lower": [float(v) for v in self.lower],
+            "upper": [float(v) for v in self.upper],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cell":
+        return cls(
+            np.asarray(data["lower"], dtype=float),
+            np.asarray(data["upper"], dtype=float),
+        )
 
 
 def cell_around(center: np.ndarray, size: float) -> Cell:
@@ -159,3 +180,40 @@ def cell_error_bounds(problem: RankingProblem, cell: Cell) -> tuple[int, int]:
         else:
             upper_total += max(abs(given - min_rank), abs(max_rank - given))
     return lower_total, upper_total
+
+
+def _bounds_chunk_task(payload: tuple) -> list[tuple[int, int]]:
+    """Evaluate :func:`cell_error_bounds` over one chunk of cells.
+
+    Module-level so that process-pool executors can pickle it.
+    """
+    problem, cells = payload
+    return [cell_error_bounds(problem, cell) for cell in cells]
+
+
+def cell_error_bounds_many(
+    problem: RankingProblem,
+    cells: Sequence[Cell],
+    executor=None,
+    chunk_size: int = 64,
+) -> list[tuple[int, int]]:
+    """Error bounds for many cells, optionally fanned out over an executor.
+
+    Args:
+        problem: The problem instance.
+        cells: Cells to evaluate (results come back in the same order).
+        executor: Anything exposing ``map_cells(fn, items)`` (see
+            :mod:`repro.engine.executor`); ``None`` evaluates serially.
+        chunk_size: Cells per executor task; chunking keeps the per-task
+            pickling overhead of the problem instance amortized over many
+            cheap bound evaluations.
+    """
+    cells = list(cells)
+    if executor is None or len(cells) <= chunk_size:
+        return [cell_error_bounds(problem, cell) for cell in cells]
+    payloads = [
+        (problem, cells[start : start + chunk_size])
+        for start in range(0, len(cells), chunk_size)
+    ]
+    chunked = executor.map_cells(_bounds_chunk_task, payloads)
+    return [bounds for chunk in chunked for bounds in chunk]

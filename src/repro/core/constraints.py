@@ -83,6 +83,23 @@ class WeightConstraint:
             return value >= self.rhs - tol
         return abs(value - self.rhs) <= tol
 
+    def to_dict(self) -> dict:
+        return {
+            "coefficients": {name: float(v) for name, v in self.coefficients.items()},
+            "sense": self.sense,
+            "rhs": float(self.rhs),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WeightConstraint":
+        return cls(
+            coefficients=dict(data["coefficients"]),
+            sense=data["sense"],
+            rhs=float(data["rhs"]),
+            name=data.get("name", ""),
+        )
+
 
 @dataclass(frozen=True)
 class PositionRangeConstraint:
@@ -103,6 +120,21 @@ class PositionRangeConstraint:
         if self.max_position < self.min_position:
             raise ValueError("max_position must be >= min_position")
 
+    def to_dict(self) -> dict:
+        return {
+            "tuple_index": int(self.tuple_index),
+            "min_position": int(self.min_position),
+            "max_position": int(self.max_position),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PositionRangeConstraint":
+        return cls(
+            tuple_index=int(data["tuple_index"]),
+            min_position=int(data["min_position"]),
+            max_position=int(data["max_position"]),
+        )
+
 
 @dataclass(frozen=True)
 class PrecedenceConstraint:
@@ -114,6 +146,13 @@ class PrecedenceConstraint:
     def __post_init__(self) -> None:
         if self.above == self.below:
             raise ValueError("a tuple cannot precede itself")
+
+    def to_dict(self) -> dict:
+        return {"above": int(self.above), "below": int(self.below)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PrecedenceConstraint":
+        return cls(above=int(data["above"]), below=int(data["below"]))
 
 
 @dataclass
@@ -169,6 +208,22 @@ class ConstraintSet:
             list(self.weight_constraints),
             list(self.position_constraints),
             list(self.precedence_constraints),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse: :meth:`from_dict`)."""
+        return {
+            "weight": [c.to_dict() for c in self.weight_constraints],
+            "position": [c.to_dict() for c in self.position_constraints],
+            "precedence": [c.to_dict() for c in self.precedence_constraints],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ConstraintSet":
+        return cls(
+            [WeightConstraint.from_dict(c) for c in data.get("weight", ())],
+            [PositionRangeConstraint.from_dict(c) for c in data.get("position", ())],
+            [PrecedenceConstraint.from_dict(c) for c in data.get("precedence", ())],
         )
 
 

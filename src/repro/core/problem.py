@@ -71,6 +71,21 @@ class ToleranceSettings:
             raise ValueError("tau_plus must exceed tau")
         return cls(tie_eps=tie_eps, eps1=tie_eps + tau_plus, eps2=tie_eps - tau)
 
+    def to_dict(self) -> dict:
+        return {
+            "tie_eps": float(self.tie_eps),
+            "eps1": float(self.eps1),
+            "eps2": float(self.eps2),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ToleranceSettings":
+        return cls(
+            tie_eps=float(data["tie_eps"]),
+            eps1=float(data["eps1"]),
+            eps2=float(data["eps2"]),
+        )
+
 
 class RankingProblem:
     """An instance of OPT: relation + given ranking + constraints + tolerances."""
@@ -238,6 +253,34 @@ class RankingProblem:
             self.attributes,
             self.constraints,
             self.tolerances,
+        )
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the full problem instance.
+
+        This is the wire format used by the result cache and the query
+        service: every field (relation columns, given positions, constraints,
+        tolerances) becomes a plain JSON type.
+        """
+        return {
+            "relation": self.relation.to_dict(),
+            "positions": [int(p) for p in self.ranking.positions],
+            "attributes": list(self.attributes),
+            "constraints": self.constraints.to_dict(),
+            "tolerances": self.tolerances.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RankingProblem":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            Relation.from_dict(data["relation"]),
+            Ranking(np.asarray(data["positions"], dtype=int)),
+            attributes=data["attributes"],
+            constraints=ConstraintSet.from_dict(data.get("constraints", {})),
+            tolerances=ToleranceSettings.from_dict(data["tolerances"]),
         )
 
     def __repr__(self) -> str:

@@ -59,6 +59,48 @@ class RankHowOptions:
     warm_start_strategy: str = "symgd"
     extra: dict = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable representation.
+
+        Used by the engine's content-addressed cache to fingerprint solver
+        configurations; integer dictionary keys become strings so the output
+        survives a JSON round trip unchanged.
+        """
+        return {
+            "time_limit": None if self.time_limit is None else float(self.time_limit),
+            "node_limit": int(self.node_limit),
+            "lp_method": self.lp_method,
+            "eliminate_dominated": bool(self.eliminate_dominated),
+            "verify": bool(self.verify),
+            "error_weights": (
+                None
+                if self.error_weights is None
+                else {str(k): float(v) for k, v in self.error_weights.items()}
+            ),
+            "search": self.search,
+            "warm_start_strategy": self.warm_start_strategy,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RankHowOptions":
+        error_weights = data.get("error_weights")
+        return cls(
+            time_limit=data.get("time_limit"),
+            node_limit=int(data.get("node_limit", 50000)),
+            lp_method=data.get("lp_method", "scipy"),
+            eliminate_dominated=bool(data.get("eliminate_dominated", True)),
+            verify=bool(data.get("verify", True)),
+            error_weights=(
+                None
+                if error_weights is None
+                else {int(k): float(v) for k, v in error_weights.items()}
+            ),
+            search=data.get("search", "best_first"),
+            warm_start_strategy=data.get("warm_start_strategy", "symgd"),
+            extra=dict(data.get("extra", {})),
+        )
+
 
 class RankHow:
     """Exact OPT solver based on the MILP formulation of Equation (2)."""

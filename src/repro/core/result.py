@@ -7,13 +7,32 @@ treat them uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy as _copy
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.scoring import LinearScoringFunction
 
-__all__ = ["SynthesisResult"]
+__all__ = ["SynthesisResult", "jsonable"]
+
+
+def jsonable(value):
+    """Recursively convert a value into plain JSON types.
+
+    NumPy arrays become lists, NumPy scalars become Python scalars, tuples
+    become lists, and dictionary keys are stringified; anything else is passed
+    through unchanged.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value
 
 
 @dataclass
@@ -65,6 +84,63 @@ class SynthesisResult:
         if not k:
             return float(self.error)
         return float(self.error) / float(k)
+
+    def copy(self) -> "SynthesisResult":
+        """Independent copy: mutating it never affects the original.
+
+        Weights, attributes, and diagnostics are the mutable parts; the
+        result cache and batch deduplication rely on this to hand each caller
+        a private object.
+        """
+        return replace(
+            self,
+            weights=self.weights.copy(),
+            attributes=list(self.attributes),
+            diagnostics=_copy.deepcopy(self.diagnostics),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse: :meth:`from_dict`).
+
+        ``weights`` becomes a list of floats and ``diagnostics`` is sanitized
+        recursively (arrays to lists, NumPy scalars to Python scalars), so the
+        result can be stored in the on-disk cache or sent over the service's
+        wire format.
+        """
+        return {
+            "weights": [float(w) for w in np.asarray(self.weights, dtype=float)],
+            "attributes": list(self.attributes),
+            "error": int(self.error),
+            "objective": float(self.objective),
+            "optimal": bool(self.optimal),
+            "method": str(self.method),
+            "solve_time": float(self.solve_time),
+            "nodes": int(self.nodes),
+            "iterations": int(self.iterations),
+            "verified": None if self.verified is None else bool(self.verified),
+            "diagnostics": jsonable(self.diagnostics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthesisResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``weights`` comes back as an ndarray; ``diagnostics`` stays in its
+        sanitized JSON form (lists instead of arrays/tuples).
+        """
+        return cls(
+            weights=np.asarray(data["weights"], dtype=float),
+            attributes=list(data["attributes"]),
+            error=int(data["error"]),
+            objective=float(data["objective"]),
+            optimal=bool(data["optimal"]),
+            method=str(data["method"]),
+            solve_time=float(data.get("solve_time", 0.0)),
+            nodes=int(data.get("nodes", 0)),
+            iterations=int(data.get("iterations", 0)),
+            verified=data.get("verified"),
+            diagnostics=dict(data.get("diagnostics", {})),
+        )
 
     def describe(self) -> str:
         """One-line human-readable summary."""

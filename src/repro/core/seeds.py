@@ -20,7 +20,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.core.cells import cell_error_bounds, grid_cells
+from repro.core.cells import cell_error_bounds_many, grid_cells
 from repro.core.problem import RankingProblem
 
 __all__ = [
@@ -60,13 +60,21 @@ def grid_seed(
     problem: RankingProblem,
     cell_size: float = 0.25,
     max_cells: int = 2048,
+    executor=None,
 ) -> np.ndarray:
-    """Center of the grid cell with the smallest position-error lower bound."""
+    """Center of the grid cell with the smallest position-error lower bound.
+
+    The per-cell bound evaluations are independent; passing an executor (see
+    :mod:`repro.engine.executor`) fans them out across threads or processes.
+    Ties between cells break towards the first cell in grid order, so the
+    chosen seed is identical for every backend.
+    """
     cells = grid_cells(problem.num_attributes, cell_size, max_cells=max_cells)
     if not cells:
         return uniform_seed(problem)
-    best_cell = min(cells, key=lambda cell: cell_error_bounds(problem, cell)[0])
-    return _sanitize(best_cell.center, problem)
+    bounds = cell_error_bounds_many(problem, cells, executor=executor)
+    best_index = min(range(len(cells)), key=lambda i: (bounds[i][0], i))
+    return _sanitize(cells[best_index].center, problem)
 
 
 def _sanitize(weights: np.ndarray, problem: RankingProblem) -> np.ndarray:

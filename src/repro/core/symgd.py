@@ -18,7 +18,7 @@ close to a plain LP.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.core.rankhow import RankHow, RankHowOptions
 from repro.core.result import SynthesisResult
 from repro.core.seeds import get_seed_strategy
 
-__all__ = ["SymGDOptions", "SymGD"]
+__all__ = ["SymGDOptions", "SymGD", "default_seed_points"]
 
 
 @dataclass
@@ -62,6 +62,41 @@ class SymGDOptions:
         default_factory=lambda: RankHowOptions(node_limit=2000, verify=False)
     )
     max_cell_size: float = 1.9
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable representation (for fingerprinting)."""
+        return {
+            "cell_size": float(self.cell_size),
+            "adaptive": bool(self.adaptive),
+            "time_limit": None if self.time_limit is None else float(self.time_limit),
+            "max_iterations": int(self.max_iterations),
+            "seed_strategy": self.seed_strategy,
+            "seed_point": (
+                None
+                if self.seed_point is None
+                else [float(w) for w in np.asarray(self.seed_point, dtype=float)]
+            ),
+            "solver_options": self.solver_options.to_dict(),
+            "max_cell_size": float(self.max_cell_size),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SymGDOptions":
+        seed_point = data.get("seed_point")
+        return cls(
+            cell_size=float(data.get("cell_size", 0.1)),
+            adaptive=bool(data.get("adaptive", False)),
+            time_limit=data.get("time_limit"),
+            max_iterations=int(data.get("max_iterations", 50)),
+            seed_strategy=data.get("seed_strategy", "ordinal_regression"),
+            seed_point=None if seed_point is None else np.asarray(seed_point, float),
+            solver_options=(
+                RankHowOptions.from_dict(data["solver_options"])
+                if data.get("solver_options") is not None
+                else RankHowOptions(node_limit=2000, verify=False)
+            ),
+            max_cell_size=float(data.get("max_cell_size", 1.9)),
+        )
 
 
 class SymGD:
@@ -185,6 +220,61 @@ class SymGD:
             },
         )
 
+    def solve_multi_seed(
+        self,
+        problem: RankingProblem,
+        seeds: list[np.ndarray] | None = None,
+        num_seeds: int = 4,
+        executor=None,
+    ) -> SynthesisResult:
+        """Run independent descents from several seed points; keep the best.
+
+        The paper's key scalability property -- each local cell solve is
+        independent -- extends to whole descents: restarting SYM-GD from
+        different corners of the simplex explores different basins, and the
+        restarts share nothing, so they parallelize perfectly.
+
+        Args:
+            problem: The problem instance.
+            seeds: Explicit seed weight vectors; defaults to
+                :func:`default_seed_points` with ``num_seeds`` points.
+            num_seeds: Number of generated seeds when ``seeds`` is ``None``.
+            executor: Anything exposing ``map_cells(fn, items)`` (see
+                :mod:`repro.engine.executor`); ``None`` runs serially.  The
+                merged result is identical for every backend because each
+                descent is deterministic and the merge prefers the earliest
+                seed on ties.
+        """
+        start = time.perf_counter()
+        if seeds is None:
+            seeds = default_seed_points(
+                problem, num_seeds, base_strategy=self.options.seed_strategy
+            )
+        if not seeds:
+            raise ValueError("solve_multi_seed needs at least one seed point")
+        payloads = [(self.options, problem, np.asarray(s, dtype=float)) for s in seeds]
+        if executor is None:
+            results = [_solve_from_seed(payload) for payload in payloads]
+        else:
+            results = list(executor.map_cells(_solve_from_seed, payloads))
+        best = min(enumerate(results), key=lambda pair: (pair[1].error, pair[0]))[1]
+        merged = replace(
+            best,
+            solve_time=time.perf_counter() - start,
+            nodes=sum(r.nodes for r in results),
+            iterations=sum(r.iterations for r in results),
+            diagnostics={
+                **best.diagnostics,
+                "num_seeds": len(seeds),
+                "per_seed_errors": [int(r.error) for r in results],
+                "per_seed_times": [float(r.solve_time) for r in results],
+            },
+        )
+        merged.method = (
+            "symgd-adaptive-multiseed" if self.options.adaptive else "symgd-multiseed"
+        )
+        return merged
+
     def _seed(self, problem: RankingProblem) -> np.ndarray:
         options = self.options
         if options.seed_point is not None:
@@ -197,3 +287,48 @@ class SymGD:
             return np.clip(seed, 0.0, None) / total
         strategy = get_seed_strategy(options.seed_strategy)
         return strategy(problem)
+
+
+def _solve_from_seed(payload: tuple) -> SynthesisResult:
+    """One full descent from one explicit seed (picklable for process pools)."""
+    options, problem, seed = payload
+    return SymGD(replace(options, seed_point=seed)).solve(problem)
+
+
+def default_seed_points(
+    problem: RankingProblem,
+    num_seeds: int,
+    base_strategy: str = "ordinal_regression",
+) -> list[np.ndarray]:
+    """Deterministic, diverse seed points for :meth:`SymGD.solve_multi_seed`.
+
+    The list starts with the configured strategy's seed and the simplex
+    center, continues with the single-attribute corners, and tops up with
+    Dirichlet draws from a fixed-seed generator, so the same problem always
+    gets the same seed set regardless of executor backend.
+    """
+    if num_seeds < 1:
+        raise ValueError("num_seeds must be >= 1")
+    m = problem.num_attributes
+    candidates: list[np.ndarray] = []
+    try:
+        candidates.append(get_seed_strategy(base_strategy)(problem))
+    except (ValueError, KeyError):
+        pass
+    candidates.append(np.full(m, 1.0 / m))
+    candidates.extend(np.eye(m))
+    rng = np.random.default_rng(num_seeds)
+    while len(candidates) < num_seeds:
+        candidates.append(rng.dirichlet(np.ones(m)))
+
+    seeds: list[np.ndarray] = []
+    for candidate in candidates:
+        if len(seeds) == num_seeds:
+            break
+        candidate = np.asarray(candidate, dtype=float)
+        if any(np.allclose(candidate, kept, atol=1e-9) for kept in seeds):
+            continue
+        seeds.append(candidate)
+    while len(seeds) < num_seeds:
+        seeds.append(rng.dirichlet(np.ones(m)))
+    return seeds

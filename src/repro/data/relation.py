@@ -86,6 +86,20 @@ class Relation:
             matrix = matrix.reshape(0, len(attribute_names))
         return cls.from_matrix(matrix, attribute_names)
 
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (columns become plain lists)."""
+        return {
+            "columns": {name: col.tolist() for name, col in self._columns.items()},
+            "key": self._key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Relation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(data["columns"], key=data.get("key"))
+
     # -- basic accessors ------------------------------------------------------
 
     @property

@@ -1,0 +1,193 @@
+"""Content-addressed result cache: in-memory LRU plus optional on-disk JSON.
+
+Keys are the hex digests produced by :mod:`repro.engine.fingerprint`; values
+are :class:`~repro.core.result.SynthesisResult` objects.  The in-memory layer
+is an ordered-dict LRU guarded by a lock (the service's batching loop and the
+thread backend both touch it concurrently); the optional disk layer writes one
+``<digest>.json`` file per entry, so caches survive process restarts and can
+be shared between a CLI run and a service instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.result import SynthesisResult
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, exposed in service telemetry."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """LRU of fingerprint -> :class:`SynthesisResult` with optional disk tier.
+
+    Args:
+        capacity: Maximum in-memory entries; the least recently used entry is
+            evicted first.  Evicted entries remain on disk (when a disk path
+            is configured), so a later lookup can still be served without a
+            solve.
+        disk_path: Directory for the JSON tier; created on demand.  ``None``
+            keeps the cache purely in memory.
+    """
+
+    def __init__(self, capacity: int = 512, disk_path: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.disk_path = Path(disk_path) if disk_path is not None else None
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, SynthesisResult] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- lookup / store -------------------------------------------------------
+
+    def get(self, key: str) -> SynthesisResult | None:
+        """Return a copy of the cached result for a fingerprint (``None`` on miss).
+
+        Callers get a private copy: mutating the returned weights or
+        diagnostics cannot corrupt the entry served to the next hit.
+        """
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return result.copy()
+        result = self._load_from_disk(key)
+        with self._lock:
+            if result is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(key, result.copy())
+            else:
+                self.stats.misses += 1
+        return result
+
+    def put(self, key: str, result: SynthesisResult) -> None:
+        """Store a result under a fingerprint (memory and, if set, disk)."""
+        with self._lock:
+            self.stats.stores += 1
+            # Store a private copy: the caller keeps (and may mutate) its own.
+            self._insert(key, result.copy())
+        self._write_to_disk(key, result)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], SynthesisResult]
+    ) -> tuple[SynthesisResult, bool]:
+        """Return ``(result, cache_hit)``, invoking ``compute`` only on a miss."""
+        result = self.get(key)
+        if result is not None:
+            return result, True
+        result = compute()
+        self.put(key, result)
+        return result, False
+
+    def _insert(self, key: str, result: SynthesisResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk tier ------------------------------------------------------------
+
+    def _disk_file(self, key: str) -> Path | None:
+        if self.disk_path is None:
+            return None
+        return self.disk_path / f"{key}.json"
+
+    def _load_from_disk(self, key: str) -> SynthesisResult | None:
+        path = self._disk_file(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return SynthesisResult.from_dict(json.load(handle))
+        except (json.JSONDecodeError, KeyError, ValueError, OSError):
+            # A torn or stale file is a miss, not an error.
+            return None
+
+    def _write_to_disk(self, key: str, result: SynthesisResult) -> None:
+        path = self._disk_file(key)
+        if path is None:
+            return
+        # Everything disk-related sits inside the guard: a result that cannot
+        # be serialized (exotic diagnostics), an unwritable directory, or a
+        # full disk must not fail a solve that already succeeded -- the entry
+        # simply stays memory-only.
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename keeps concurrent readers from seeing torn files.
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle)
+            os.replace(tmp_name, path)
+        except (OSError, TypeError, ValueError):
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop every in-memory entry (and, optionally, the disk tier)."""
+        with self._lock:
+            self._entries.clear()
+        if disk and self.disk_path is not None and self.disk_path.is_dir():
+            for file in self.disk_path.glob("*.json"):
+                try:
+                    file.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self)}, capacity={self.capacity}, "
+            f"disk={str(self.disk_path) if self.disk_path else None!r})"
+        )

@@ -1,0 +1,228 @@
+"""The solve engine: executor + content-addressed cache behind one facade.
+
+:class:`SolveEngine` is what the query service (and any batch caller) talks
+to.  It owns an executor backend and a :class:`~repro.engine.cache.ResultCache`
+and exposes three operations:
+
+* ``solve`` / ``solve_batch`` -- answer how-to-rank requests, deduplicating
+  identical requests inside a batch, serving repeats from the cache, and
+  fanning the remaining distinct solves out over the executor;
+* ``multi_seed_symgd`` -- the parallel multi-seed SYM-GD entry point used by
+  the scaling benchmark;
+* ``map_cells`` -- raw access to the executor for custom sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.problem import RankingProblem
+from repro.core.result import SynthesisResult
+from repro.core.symgd import SymGD, SymGDOptions
+from repro.engine.cache import ResultCache
+from repro.engine.executor import Executor, get_executor
+from repro.engine.fingerprint import fingerprint
+from repro.engine.tasks import (
+    SOLVE_METHODS,
+    effective_params,
+    solve_request_task,
+    validate_params,
+)
+
+__all__ = ["SolveRequest", "SolveOutcome", "SolveEngine"]
+
+
+@dataclass
+class SolveRequest:
+    """One how-to-rank request: a problem, a method name, and wire options."""
+
+    problem: RankingProblem
+    method: str = "symgd"
+    params: dict = field(default_factory=dict)
+    _fingerprint: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _effective: dict | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.method not in SOLVE_METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; expected one of {SOLVE_METHODS}"
+            )
+        # Fail fast (at submit time, before fingerprinting or queueing) on
+        # wire params the method would silently ignore.
+        validate_params(self.method, self.params)
+
+    @property
+    def effective(self) -> dict:
+        """Resolved post-merge options (computed once, reused by the worker)."""
+        if self._effective is None:
+            self._effective = effective_params(self.method, self.params)
+        return self._effective
+
+    @property
+    def fingerprint(self) -> str:
+        # Cached: the service front-end and the engine both ask, and hashing
+        # the full attribute matrix is the dominant front-end cost.  The
+        # digest covers the *effective* (post-merge) options, so spelling a
+        # default out explicitly does not fragment the cache.
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint(self.problem, self.method, self.effective)
+        return self._fingerprint
+
+
+@dataclass
+class SolveOutcome:
+    """A solved request plus how it was served."""
+
+    result: SynthesisResult
+    fingerprint: str
+    cache_hit: bool
+    wall_time: float
+
+    def to_dict(self) -> dict:
+        return {
+            "result": self.result.to_dict(),
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "wall_time": self.wall_time,
+        }
+
+
+class SolveEngine:
+    """Parallel, cached execution substrate for how-to-rank requests.
+
+    Args:
+        backend: Executor backend name or instance (``serial`` / ``thread`` /
+            ``process`` / ``auto``).
+        max_workers: Worker cap for pooled backends.
+        cache: An existing :class:`ResultCache` to share, or ``None`` to
+            create one from ``cache_capacity`` / ``cache_dir``.
+        cache_capacity: In-memory LRU size for the created cache.
+        cache_dir: Optional on-disk JSON tier for the created cache.
+    """
+
+    def __init__(
+        self,
+        backend: str | Executor = "serial",
+        max_workers: int | None = None,
+        cache: ResultCache | None = None,
+        cache_capacity: int = 512,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.executor = get_executor(backend, max_workers)
+        # Explicit None check: an empty ResultCache is falsy (it has __len__).
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(capacity=cache_capacity, disk_path=cache_dir)
+        )
+        self.solver_invocations = 0
+
+    # -- request solving ------------------------------------------------------
+
+    def solve(
+        self,
+        problem: RankingProblem,
+        method: str = "symgd",
+        params: dict | None = None,
+    ) -> SolveOutcome:
+        """Solve one request (cache-aware); see :meth:`solve_batch`."""
+        return self.solve_batch([SolveRequest(problem, method, dict(params or {}))])[0]
+
+    def solve_batch(self, requests: list[SolveRequest]) -> list[SolveOutcome]:
+        """Solve a micro-batch of requests.
+
+        Identical requests inside the batch collapse onto one solve; requests
+        seen before are answered from the cache without invoking any solver;
+        the remaining distinct misses run on the executor in parallel.  The
+        returned list is aligned with ``requests``.
+        """
+        start = time.perf_counter()
+        keys = [request.fingerprint for request in requests]
+
+        cached: dict[str, SynthesisResult] = {}
+        pending: dict[str, SolveRequest] = {}
+        for key, request in zip(keys, requests):
+            if key in cached or key in pending:
+                continue
+            result = self.cache.get(key)
+            if result is not None:
+                cached[key] = result
+            else:
+                pending[key] = request
+
+        if pending:
+            payloads = [
+                (request.problem, request.method, request.effective)
+                for request in pending.values()
+            ]
+            self.solver_invocations += len(payloads)
+            solved = self.executor.map_cells(solve_request_task, payloads)
+            for key, result in zip(pending.keys(), solved):
+                self.cache.put(key, result)
+                cached[key] = result
+
+        wall = time.perf_counter() - start
+        outcomes = []
+        emitted: set[str] = set()
+        for key in keys:
+            result = cached[key]
+            # Duplicates of one fingerprint inside a batch get private
+            # copies, matching the cache's no-aliasing guarantee.
+            if key in emitted:
+                result = result.copy()
+            emitted.add(key)
+            outcomes.append(
+                SolveOutcome(
+                    result=result,
+                    fingerprint=key,
+                    cache_hit=key not in pending,
+                    wall_time=wall,
+                )
+            )
+        return outcomes
+
+    # -- parallel primitives --------------------------------------------------
+
+    def multi_seed_symgd(
+        self,
+        problem: RankingProblem,
+        options: SymGDOptions | None = None,
+        num_seeds: int = 4,
+        seeds=None,
+    ) -> SynthesisResult:
+        """Parallel multi-seed SYM-GD on this engine's executor."""
+        solver = SymGD(options)
+        return solver.solve_multi_seed(
+            problem, seeds=seeds, num_seeds=num_seeds, executor=self.executor
+        )
+
+    def map_cells(self, fn, items) -> list:
+        """Raw ordered map on the executor (for custom per-cell sweeps)."""
+        return self.executor.map_cells(fn, items)
+
+    # -- lifecycle / telemetry ------------------------------------------------
+
+    def stats(self) -> dict:
+        """Executor and cache counters plus the solver-invocation count."""
+        return {
+            "backend": self.executor.name,
+            "max_workers": self.executor.max_workers,
+            "solver_invocations": self.solver_invocations,
+            "executor": self.executor.stats.as_dict(),
+            "cache": self.cache.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "SolveEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

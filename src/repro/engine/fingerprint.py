@@ -1,0 +1,122 @@
+"""Content-addressed fingerprints for problems, cells, and solver options.
+
+The result cache and the query service key everything by a canonical SHA-256
+digest of the *semantic* content of a request: the ranking-attribute matrix
+(bit-exact bytes), the given positions, the attribute names, the constraint
+set, the tolerances, the method name, and the solver options.  Two problems
+built independently from the same data therefore collide on purpose -- that is
+what makes the cache content-addressed rather than identity-addressed.
+
+Digests deliberately avoid Python's builtin ``hash`` (randomized per process
+via ``PYTHONHASHSEED``) and anything repr-based that could vary across NumPy
+versions; floats are serialized through the stdlib JSON encoder (shortest
+round-trip repr) and arrays through their raw little-endian bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+
+import numpy as np
+
+from repro.core.cells import Cell
+from repro.core.problem import RankingProblem
+from repro.core.result import jsonable
+
+__all__ = [
+    "canonical_json",
+    "fingerprint_problem",
+    "fingerprint_cell",
+    "fingerprint_options",
+    "fingerprint",
+]
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace, sanitized types."""
+    return json.dumps(jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def _array_bytes(array: np.ndarray, dtype) -> bytes:
+    """Shape-prefixed, dtype-normalized, contiguous little-endian bytes."""
+    array = np.ascontiguousarray(array, dtype=dtype)
+    if array.dtype.byteorder == ">":  # pragma: no cover - big-endian platforms
+        array = array.astype(array.dtype.newbyteorder("<"))
+    return repr(array.shape).encode() + array.tobytes()
+
+
+#: Per-object memo of problem digests.  RankingProblem is immutable by
+#: convention, so hashing its matrix once per object is safe; the weak keys
+#: let problems be garbage-collected normally.
+_problem_digests: "weakref.WeakKeyDictionary[RankingProblem, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def fingerprint_problem(problem: RankingProblem) -> str:
+    """Stable digest of everything that influences a solve on this problem.
+
+    Non-ranking columns (player names, institution names) are excluded: they
+    cannot change any solver's output, and excluding them lets semantically
+    identical problems share cache entries.  The digest is memoized per
+    problem object -- the service front-end fingerprints every incoming
+    request on the event loop, so repeat submissions of the same problem
+    must not re-hash the full matrix.
+    """
+    memoized = _problem_digests.get(problem)
+    if memoized is not None:
+        return memoized
+    h = hashlib.sha256()
+    h.update(b"matrix:")
+    h.update(_array_bytes(problem.matrix, np.float64))
+    h.update(b"positions:")
+    h.update(_array_bytes(problem.ranking.positions, np.int64))
+    h.update(b"attributes:")
+    h.update(canonical_json(problem.attributes).encode())
+    h.update(b"constraints:")
+    h.update(canonical_json(problem.constraints.to_dict()).encode())
+    h.update(b"tolerances:")
+    h.update(canonical_json(problem.tolerances.to_dict()).encode())
+    digest = h.hexdigest()
+    _problem_digests[problem] = digest
+    return digest
+
+
+def fingerprint_cell(cell: Cell) -> str:
+    """Stable digest of a weight-space cell."""
+    h = hashlib.sha256()
+    h.update(b"cell:")
+    h.update(_array_bytes(cell.lower, np.float64))
+    h.update(_array_bytes(cell.upper, np.float64))
+    return h.hexdigest()
+
+
+def fingerprint_options(options) -> str:
+    """Canonical JSON of a solver-options object (or plain params mapping)."""
+    if options is None:
+        return "null"
+    if hasattr(options, "to_dict"):
+        return canonical_json(options.to_dict())
+    return canonical_json(options)
+
+
+def fingerprint(
+    problem: RankingProblem,
+    method: str = "",
+    options=None,
+    cell: Cell | None = None,
+) -> str:
+    """Digest of a full solve request: problem + method + options (+ cell)."""
+    h = hashlib.sha256()
+    h.update(b"problem:")
+    h.update(fingerprint_problem(problem).encode())
+    h.update(b"method:")
+    h.update(method.encode())
+    h.update(b"options:")
+    h.update(fingerprint_options(options).encode())
+    if cell is not None:
+        h.update(b"cell:")
+        h.update(fingerprint_cell(cell).encode())
+    return h.hexdigest()

@@ -1,0 +1,26 @@
+"""Async query front-end over the solve engine.
+
+* :mod:`repro.service.server` -- :class:`QueryServer`: coalesces duplicate
+  in-flight queries, micro-batches onto a
+  :class:`~repro.engine.engine.SolveEngine`, and records per-request
+  latency / cache telemetry.
+* ``python -m repro.service`` -- a CLI that starts the server in-process,
+  fires a configurable burst of how-to-rank queries, and prints the
+  throughput / latency / cache report.
+"""
+
+from repro.service.server import (
+    QueryResponse,
+    QueryServer,
+    QueryServerOptions,
+    RequestRecord,
+    ServiceStats,
+)
+
+__all__ = [
+    "QueryResponse",
+    "QueryServer",
+    "QueryServerOptions",
+    "RequestRecord",
+    "ServiceStats",
+]

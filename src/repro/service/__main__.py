@@ -1,0 +1,155 @@
+"""CLI demo of the query service: ``python -m repro.service``.
+
+Builds a pool of distinct how-to-rank queries over one of the benchmark
+datasets, fires them at a :class:`~repro.service.server.QueryServer` as a
+concurrent burst (repeating the pool so coalescing and the result cache have
+work to do), and prints the throughput / latency / cache report.
+
+Examples::
+
+    python -m repro.service --dataset nba --queries 24 --distinct 4
+    python -m repro.service --backend process --method symgd --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.bench.harness import csrankings_problem, nba_problem, synthetic_problem
+from repro.core.problem import RankingProblem
+from repro.engine.tasks import SOLVE_METHODS
+from repro.service.server import QueryServer, QueryServerOptions
+
+
+def build_query_pool(
+    dataset: str, distinct: int, num_tuples: int, seed: int
+) -> list[RankingProblem]:
+    """Distinct problems over one dataset (varying the ranking length k)."""
+    problems = []
+    for index in range(distinct):
+        k = 3 + index
+        if dataset == "nba":
+            problems.append(nba_problem(num_tuples=num_tuples, num_attributes=5, k=k))
+        elif dataset == "csrankings":
+            problems.append(
+                csrankings_problem(num_tuples=num_tuples, num_attributes=8, k=k + 2)
+            )
+        elif dataset == "synthetic":
+            problems.append(
+                synthetic_problem(
+                    "uniform",
+                    num_tuples=num_tuples,
+                    num_attributes=5,
+                    k=k,
+                    seed=seed,
+                )
+            )
+        else:
+            raise ValueError(f"unknown dataset {dataset!r}")
+    return problems
+
+
+async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
+    problems = build_query_pool(args.dataset, args.distinct, args.tuples, args.seed)
+    if args.method in ("symgd", "symgd_adaptive"):
+        params = {
+            "cell_size": args.cell_size,
+            "max_iterations": args.max_iterations,
+            "solver_options": {
+                "node_limit": args.node_limit,
+                "verify": False,
+                "warm_start_strategy": "none",
+            },
+        }
+    elif args.method == "rankhow":
+        # RankHow options are flat (no nested solver_options).
+        params = {"node_limit": args.node_limit, "verify": False}
+    elif args.method == "sampling":
+        params = {"num_samples": args.samples, "seed": args.seed}
+    else:
+        params = {}
+
+    options = QueryServerOptions(
+        backend=args.backend,
+        max_workers=args.workers,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_dir=args.cache_dir,
+    )
+    server = QueryServer(options=options)
+    async with server:
+        tasks = [
+            server.submit(problems[i % len(problems)], args.method, params)
+            for i in range(args.queries)
+        ]
+        responses = await asyncio.gather(*tasks)
+    return server, responses
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run a burst of how-to-rank queries through the query service.",
+    )
+    parser.add_argument("--dataset", default="nba",
+                        choices=("nba", "csrankings", "synthetic"))
+    parser.add_argument("--queries", type=int, default=24,
+                        help="total queries in the burst (default: 24)")
+    parser.add_argument("--distinct", type=int, default=4,
+                        help="distinct problems; the rest repeat (default: 4)")
+    parser.add_argument("--tuples", type=int, default=120,
+                        help="relation size per problem (default: 120)")
+    parser.add_argument("--method", default="symgd", choices=SOLVE_METHODS)
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process", "auto"))
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--batch-window", type=float, default=0.005)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--cache-dir", default=None,
+                        help="optional on-disk result cache directory")
+    parser.add_argument("--cell-size", type=float, default=0.1)
+    parser.add_argument("--max-iterations", type=int, default=10)
+    parser.add_argument("--node-limit", type=int, default=300)
+    parser.add_argument("--samples", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full per-request records as JSON")
+    args = parser.parse_args(argv)
+
+    server, responses = asyncio.run(run_burst(args))
+    stats = server.stats()
+    if args.json:
+        payload = {
+            "stats": {
+                "requests": stats.requests,
+                "coalesced": stats.coalesced,
+                "cache_hits": stats.cache_hits,
+                "batches": stats.batches,
+                "solver_invocations": stats.solver_invocations,
+                "mean_latency": stats.mean_latency,
+                "p95_latency": stats.p95_latency,
+                "throughput": stats.throughput,
+                "wall_time": stats.wall_time,
+                "cache": stats.cache,
+            },
+            "responses": [response.to_dict() for response in responses],
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"== repro.service burst: {args.queries} x {args.method} "
+              f"on {args.dataset} ({args.backend} backend) ==")
+        print(stats.describe())
+        for response in responses[: args.distinct]:
+            result = response.result
+            print(f"  {response.request_id}: error={result.error} "
+                  f"cache_hit={response.cache_hit} coalesced={response.coalesced} "
+                  f"latency={response.latency * 1e3:.1f}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

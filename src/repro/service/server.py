@@ -1,0 +1,399 @@
+"""Async how-to-rank query front-end with coalescing and micro-batching.
+
+:class:`QueryServer` accepts concurrent how-to-rank queries (a ranking
+problem plus a method name and options), and turns a bursty stream of them
+into efficient work for a :class:`~repro.engine.engine.SolveEngine`:
+
+* **Coalescing** -- a query whose fingerprint matches one already in flight
+  attaches to the in-flight future instead of enqueueing new work, so a
+  thundering herd of identical queries costs one solve.
+* **Micro-batching** -- queued queries are collected for a short window (or
+  until the batch is full) and handed to the engine as one batch, which
+  dedups them, serves repeats from the result cache, and fans the distinct
+  misses out over the executor backend.
+* **Telemetry** -- every request is recorded (latency, cache hit, coalesced,
+  batch size) and aggregated by :meth:`QueryServer.stats`.
+
+The server is an in-process asyncio component rather than a network daemon:
+the network layer of a production deployment (HTTP, gRPC, ...) would sit in
+front of :meth:`QueryServer.submit`, which is exactly the shape of the
+``python -m repro.service`` CLI and ``examples/serve_queries.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.problem import RankingProblem
+from repro.engine.engine import SolveEngine, SolveOutcome, SolveRequest
+
+__all__ = [
+    "QueryServerOptions",
+    "QueryResponse",
+    "RequestRecord",
+    "ServiceStats",
+    "QueryServer",
+]
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class QueryServerOptions:
+    """Tuning knobs of the front-end.
+
+    Attributes:
+        backend: Executor backend for the owned engine (``serial`` /
+            ``thread`` / ``process`` / ``auto``); ignored when an engine is
+            passed in.
+        max_workers: Worker cap for the owned engine's executor.
+        batch_window: Seconds to keep collecting queries after the first one
+            of a batch arrives.  Zero still batches whatever is already
+            queued (pure opportunistic batching).
+        max_batch: Hard cap on queries per engine batch.
+        cache_capacity: LRU capacity of the owned engine's result cache.
+        cache_dir: Optional on-disk cache directory of the owned engine.
+        history_limit: Per-request telemetry records kept in memory; older
+            records are dropped (aggregate counters keep counting), so a
+            long-running server does not grow without bound.
+    """
+
+    backend: str = "serial"
+    max_workers: int | None = None
+    batch_window: float = 0.005
+    max_batch: int = 16
+    cache_capacity: int = 512
+    cache_dir: str | None = None
+    history_limit: int = 10000
+
+
+@dataclass
+class RequestRecord:
+    """Telemetry for one served request."""
+
+    request_id: str
+    fingerprint: str
+    method: str
+    error: int
+    latency: float
+    cache_hit: bool
+    coalesced: bool
+    batch_size: int
+
+
+@dataclass
+class QueryResponse:
+    """What a caller gets back from :meth:`QueryServer.submit`."""
+
+    request_id: str
+    outcome: SolveOutcome
+    latency: float
+    coalesced: bool
+    batch_size: int
+
+    @property
+    def result(self):
+        return self.outcome.result
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.outcome.cache_hit
+
+    def to_dict(self) -> dict:
+        """Wire-format representation (plain JSON types throughout)."""
+        return {
+            "request_id": self.request_id,
+            "fingerprint": self.outcome.fingerprint,
+            "cache_hit": self.outcome.cache_hit,
+            "coalesced": self.coalesced,
+            "latency": self.latency,
+            "batch_size": self.batch_size,
+            "result": self.outcome.result.to_dict(),
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate view over every request served so far."""
+
+    requests: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    solver_invocations: int = 0
+    mean_latency: float = 0.0
+    p95_latency: float = 0.0
+    max_latency: float = 0.0
+    throughput: float = 0.0
+    wall_time: float = 0.0
+    cache: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"{self.requests} requests in {self.wall_time:.2f}s "
+            f"({self.throughput:.1f} req/s) | "
+            f"coalesced={self.coalesced} cache_hits={self.cache_hits} "
+            f"solves={self.solver_invocations} batches={self.batches} | "
+            f"latency mean={self.mean_latency * 1e3:.1f}ms "
+            f"p95={self.p95_latency * 1e3:.1f}ms"
+        )
+
+
+class QueryServer:
+    """Coalescing, micro-batching asyncio front-end over a solve engine.
+
+    Use as an async context manager::
+
+        async with QueryServer(options=QueryServerOptions(backend="process")) as server:
+            response = await server.submit(problem, method="symgd")
+
+    Args:
+        engine: A shared :class:`SolveEngine`; when ``None`` the server owns
+            one built from ``options`` (and closes it on :meth:`stop`).
+        options: Front-end tuning knobs.
+    """
+
+    def __init__(
+        self,
+        engine: SolveEngine | None = None,
+        options: QueryServerOptions | None = None,
+    ) -> None:
+        self.options = options or QueryServerOptions()
+        self._owns_engine = engine is None
+        self.engine = engine or SolveEngine(
+            backend=self.options.backend,
+            max_workers=self.options.max_workers,
+            cache_capacity=self.options.cache_capacity,
+            cache_dir=self.options.cache_dir,
+        )
+        self._queue: asyncio.Queue | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._records: deque[RequestRecord] = deque(
+            maxlen=max(self.options.history_limit, 1)
+        )
+        self._batches = 0
+        self._total_requests = 0
+        self._total_coalesced = 0
+        self._total_cache_hits = 0
+        self._latency_sum = 0.0
+        self._loop_task: asyncio.Task | None = None
+        self._closing = False
+        self._started_at: float | None = None
+        self._finished_at: float | None = None
+        self._request_counter = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "QueryServer":
+        """Start the batching loop (idempotent)."""
+        if self._loop_task is None:
+            self._queue = asyncio.Queue()
+            self._closing = False
+            self._loop_task = asyncio.get_running_loop().create_task(
+                self._batch_loop()
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the loop, release the owned engine.
+
+        New :meth:`submit` calls are rejected from this point on; queries
+        already submitted (even those enqueued while this call races them)
+        are still solved before the loop exits.
+        """
+        if self._loop_task is not None:
+            assert self._queue is not None
+            # Flip the flag before the sentinel: submit() checks it on the
+            # same event loop, so nothing can be enqueued behind the sentinel
+            # except requests that were already racing -- and those are
+            # drained by the batch loop before it exits.
+            self._closing = True
+            self._queue.put_nowait(_SHUTDOWN)
+            await self._loop_task
+            self._loop_task = None
+            self._queue = None
+        if self._owns_engine:
+            self.engine.close()
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the front door -------------------------------------------------------
+
+    async def submit(
+        self,
+        problem: RankingProblem,
+        method: str = "symgd",
+        params: dict | None = None,
+        request_id: str | None = None,
+    ) -> QueryResponse:
+        """Submit one how-to-rank query and await its response.
+
+        Identical queries already in flight are coalesced: this call attaches
+        to the pending solve instead of enqueueing a duplicate.
+        """
+        if self._loop_task is None or self._closing:
+            raise RuntimeError("QueryServer is not running; call start() first")
+        assert self._queue is not None
+        self._request_counter += 1
+        if request_id is None:
+            request_id = f"q{self._request_counter}"
+        request = SolveRequest(problem, method, dict(params or {}))
+        key = request.fingerprint
+
+        arrived = time.perf_counter()
+        if self._started_at is None:
+            self._started_at = arrived
+
+        future = self._inflight.get(key)
+        coalesced = future is not None
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            self._queue.put_nowait((key, request))
+
+        outcome, batch_size = await future
+        if coalesced:
+            # Every waiter on a coalesced solve gets a private result copy,
+            # matching the cache's and the engine's no-aliasing guarantee.
+            outcome = replace(outcome, result=outcome.result.copy())
+        finished = time.perf_counter()
+        self._finished_at = finished
+        latency = finished - arrived
+        response = QueryResponse(
+            request_id=request_id,
+            outcome=outcome,
+            latency=latency,
+            coalesced=coalesced,
+            batch_size=batch_size,
+        )
+        self._total_requests += 1
+        self._total_coalesced += int(coalesced)
+        self._total_cache_hits += int(outcome.cache_hit)
+        self._latency_sum += latency
+        self._records.append(
+            RequestRecord(
+                request_id=request_id,
+                fingerprint=key,
+                method=method,
+                error=int(outcome.result.error),
+                latency=latency,
+                cache_hit=outcome.cache_hit,
+                coalesced=coalesced,
+                batch_size=batch_size,
+            )
+        )
+        return response
+
+    # -- batching loop --------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _SHUTDOWN:
+                # Drain requests that raced stop(): anything enqueued before
+                # the closing flag flipped must still be answered.
+                remainder = []
+                while not self._queue.empty():
+                    item = self._queue.get_nowait()
+                    if item is not _SHUTDOWN:
+                        remainder.append(item)
+                if remainder:
+                    await self._run_batch(remainder)
+                break
+            batch = [first]
+            requeue_shutdown = False
+            deadline = loop.time() + max(self.options.batch_window, 0.0)
+            while len(batch) < self.options.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    # Window elapsed; still sweep anything already queued.
+                    while (
+                        len(batch) < self.options.max_batch
+                        and not self._queue.empty()
+                    ):
+                        item = self._queue.get_nowait()
+                        if item is _SHUTDOWN:
+                            requeue_shutdown = True
+                            break
+                        batch.append(item)
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SHUTDOWN:
+                    requeue_shutdown = True
+                    break
+                batch.append(item)
+            if requeue_shutdown:
+                # Put the sentinel back so the next iteration runs the
+                # drain-and-exit path after this batch is served.
+                self._queue.put_nowait(_SHUTDOWN)
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list) -> None:
+        keys = [key for key, _ in batch]
+        requests = [request for _, request in batch]
+        self._batches += 1
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(
+                None, self.engine.solve_batch, requests
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            for key in keys:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(error)
+            return
+        for key, outcome in zip(keys, outcomes):
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result((outcome, len(batch)))
+
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    def records(self) -> list[RequestRecord]:
+        """Per-request telemetry (the most recent ``history_limit`` requests)."""
+        return list(self._records)
+
+    def stats(self) -> ServiceStats:
+        """Aggregate latency / hit-rate / throughput.
+
+        Counters (requests, coalesced, cache hits, batches) cover the whole
+        lifetime of the server; the latency percentiles cover the retained
+        record window (:attr:`QueryServerOptions.history_limit`).
+        """
+        if not self._total_requests:
+            return ServiceStats(cache=self.engine.cache.stats.as_dict())
+        latencies = np.asarray([r.latency for r in self._records], dtype=float)
+        wall = (
+            (self._finished_at or 0.0) - (self._started_at or 0.0)
+            if self._started_at is not None
+            else 0.0
+        )
+        return ServiceStats(
+            requests=self._total_requests,
+            coalesced=self._total_coalesced,
+            cache_hits=self._total_cache_hits,
+            batches=self._batches,
+            solver_invocations=self.engine.solver_invocations,
+            mean_latency=self._latency_sum / self._total_requests,
+            p95_latency=float(np.percentile(latencies, 95)),
+            max_latency=float(latencies.max()),
+            throughput=self._total_requests / wall if wall > 0 else 0.0,
+            wall_time=wall,
+            cache=self.engine.cache.stats.as_dict(),
+        )

@@ -1,0 +1,124 @@
+"""Result cache: hit/miss/eviction semantics and the on-disk tier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import SynthesisResult
+from repro.engine.cache import ResultCache
+
+
+def make_result(error: int, method: str = "symgd") -> SynthesisResult:
+    return SynthesisResult(
+        weights=np.asarray([0.5, 0.3, 0.2]),
+        attributes=["A1", "A2", "A3"],
+        error=error,
+        objective=float(error),
+        optimal=False,
+        method=method,
+        diagnostics={"k": 3},
+    )
+
+
+def test_hit_miss_and_stats():
+    cache = ResultCache(capacity=4)
+    assert cache.get("a") is None
+    cache.put("a", make_result(1))
+    hit = cache.get("a")
+    assert hit is not None and hit.error == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hit_rate == 0.5
+    assert "a" in cache and len(cache) == 1
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put("a", make_result(1))
+    cache.put("b", make_result(2))
+    assert cache.get("a") is not None  # refresh "a"; "b" is now least recent
+    cache.put("c", make_result(3))
+    assert cache.stats.evictions == 1
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+
+
+def test_get_or_compute_invokes_only_on_miss():
+    cache = ResultCache(capacity=4)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return make_result(7)
+
+    result, hit = cache.get_or_compute("key", compute)
+    assert not hit and result.error == 7 and len(calls) == 1
+    result, hit = cache.get_or_compute("key", compute)
+    assert hit and result.error == 7 and len(calls) == 1
+
+
+def test_disk_tier_round_trip(tmp_path):
+    disk = tmp_path / "cache"
+    cache = ResultCache(capacity=4, disk_path=disk)
+    cache.put("deadbeef", make_result(3))
+    assert (disk / "deadbeef.json").is_file()
+
+    # A fresh cache instance (fresh process, conceptually) reads it back.
+    fresh = ResultCache(capacity=4, disk_path=disk)
+    result = fresh.get("deadbeef")
+    assert result is not None and result.error == 3
+    assert fresh.stats.disk_hits == 1
+    # The disk hit is promoted into memory: next lookup avoids the disk.
+    assert "deadbeef" in fresh
+
+
+def test_eviction_keeps_disk_entry(tmp_path):
+    cache = ResultCache(capacity=1, disk_path=tmp_path)
+    cache.put("a", make_result(1))
+    cache.put("b", make_result(2))  # evicts "a" from memory
+    assert "a" not in cache
+    recovered = cache.get("a")
+    assert recovered is not None and recovered.error == 1
+    assert cache.stats.disk_hits == 1
+
+
+def test_unwritable_disk_tier_does_not_fail_put(tmp_path):
+    blocker = tmp_path / "not_a_dir"
+    blocker.write_text("", encoding="utf-8")
+    # disk_path points at an existing *file*: every write attempt fails, but
+    # the solve result must still land in the memory tier without raising.
+    cache = ResultCache(capacity=2, disk_path=blocker)
+    cache.put("a", make_result(4))
+    hit = cache.get("a")
+    assert hit is not None and hit.error == 4
+
+
+def test_cached_entries_do_not_alias_caller_objects():
+    cache = ResultCache(capacity=2)
+    original = make_result(1)
+    cache.put("a", original)
+    original.weights[:] = -5.0  # caller mutates after storing
+    first = cache.get("a")
+    assert np.all(first.weights >= 0.0)
+    first.diagnostics["k"] = "corrupted"  # caller mutates a hit
+    second = cache.get("a")
+    assert second.diagnostics["k"] == 3
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    (tmp_path / "bad.json").write_text("{not json", encoding="utf-8")
+    cache = ResultCache(capacity=2, disk_path=tmp_path)
+    assert cache.get("bad") is None
+    assert cache.stats.misses == 1
+
+
+def test_clear_and_validation(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+    cache = ResultCache(capacity=2, disk_path=tmp_path)
+    cache.put("a", make_result(1))
+    cache.clear(disk=True)
+    assert len(cache) == 0
+    assert not list(tmp_path.glob("*.json"))

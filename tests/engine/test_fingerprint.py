@@ -1,0 +1,131 @@
+"""Fingerprints: content addressing, sensitivity, and cross-process stability."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+
+from repro.core.cells import cell_around
+from repro.core.constraints import ConstraintSet, min_weight
+from repro.core.problem import ToleranceSettings
+from repro.core.rankhow import RankHowOptions
+from repro.core.symgd import SymGDOptions
+from repro.data.rankings import ranking_from_scores
+from repro.data.relation import Relation
+from repro.data.synthetic import generate_uniform
+from repro.engine.fingerprint import (
+    fingerprint,
+    fingerprint_cell,
+    fingerprint_options,
+    fingerprint_problem,
+)
+from repro.core.problem import RankingProblem
+
+
+def build_problem(seed: int = 1, k: int = 4) -> RankingProblem:
+    relation = generate_uniform(30, 3, seed=seed)
+    scores = relation.matrix() @ np.asarray([0.5, 0.3, 0.2])
+    return RankingProblem(relation, ranking_from_scores(scores, k=k))
+
+
+def test_content_addressing_ignores_object_identity():
+    assert fingerprint_problem(build_problem()) == fingerprint_problem(build_problem())
+
+
+def test_non_ranking_columns_do_not_change_the_fingerprint():
+    problem = build_problem()
+    with_names = RankingProblem(
+        problem.relation.with_column(
+            "name", np.array([f"t{i}" for i in range(problem.num_tuples)])
+        ),
+        problem.ranking,
+        attributes=problem.attributes,
+        tolerances=problem.tolerances,
+    )
+    assert fingerprint_problem(problem) == fingerprint_problem(with_names)
+
+
+def test_fingerprint_sensitivity():
+    base = fingerprint_problem(build_problem())
+    assert fingerprint_problem(build_problem(seed=2)) != base  # data changed
+    assert fingerprint_problem(build_problem(k=5)) != base  # ranking changed
+
+    problem = build_problem()
+    constrained = problem.with_constraints(
+        ConstraintSet().add(min_weight("A1", 0.2))
+    )
+    assert fingerprint_problem(constrained) != base
+    loosened = problem.with_tolerances(
+        ToleranceSettings(tie_eps=1e-3, eps1=2e-3, eps2=0.0)
+    )
+    assert fingerprint_problem(loosened) != base
+
+
+def test_request_fingerprint_covers_method_options_and_cell():
+    problem = build_problem()
+    params = {"cell_size": 0.1}
+    base = fingerprint(problem, "symgd", params)
+    assert fingerprint(problem, "rankhow", params) != base
+    assert fingerprint(problem, "symgd", {"cell_size": 0.2}) != base
+    cell = cell_around(np.asarray([0.4, 0.3, 0.3]), 0.2)
+    assert fingerprint(problem, "symgd", params, cell=cell) != base
+    assert fingerprint_cell(cell) == fingerprint_cell(cell_around(
+        np.asarray([0.4, 0.3, 0.3]), 0.2
+    ))
+
+
+def test_options_fingerprint_uses_canonical_dict():
+    assert fingerprint_options(None) == "null"
+    assert fingerprint_options(RankHowOptions()) == fingerprint_options(
+        RankHowOptions()
+    )
+    assert fingerprint_options(SymGDOptions()) != fingerprint_options(
+        SymGDOptions(cell_size=0.5)
+    )
+    # Key order of a plain params mapping must not matter.
+    assert fingerprint_options({"a": 1, "b": 2}) == fingerprint_options(
+        {"b": 2, "a": 1}
+    )
+
+
+def test_fingerprint_stable_across_processes():
+    """The digest must not depend on per-process state (hash randomization)."""
+    script = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.core.problem import RankingProblem
+        from repro.data.rankings import ranking_from_scores
+        from repro.data.synthetic import generate_uniform
+        from repro.engine.fingerprint import fingerprint
+
+        relation = generate_uniform(30, 3, seed=1)
+        scores = relation.matrix() @ np.asarray([0.5, 0.3, 0.2])
+        problem = RankingProblem(relation, ranking_from_scores(scores, k=4))
+        print(fingerprint(problem, "symgd", {"cell_size": 0.1, "nested": {"x": 1}}))
+        """
+    )
+    digests = set()
+    for hash_seed in ("0", "4242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            path for path in (env.get("PYTHONPATH"), "src") if path
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        digests.add(output.stdout.strip())
+    in_process = fingerprint(
+        build_problem(), "symgd", {"cell_size": 0.1, "nested": {"x": 1}}
+    )
+    digests.add(in_process)
+    assert len(digests) == 1, digests

@@ -1,0 +1,180 @@
+"""QueryServer: coalescing, micro-batching, caching, stats, lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RankingProblem
+from repro.data.rankings import ranking_from_scores
+from repro.data.synthetic import generate_uniform
+from repro.engine import SolveEngine
+from repro.service import QueryServer, QueryServerOptions
+
+FAST_PARAMS = {
+    "cell_size": 0.2,
+    "max_iterations": 4,
+    "solver_options": {
+        "node_limit": 60,
+        "verify": False,
+        "warm_start_strategy": "none",
+    },
+}
+
+
+def build_problem(k: int = 4, seed: int = 1) -> RankingProblem:
+    relation = generate_uniform(30, 3, seed=seed)
+    scores = relation.matrix() @ np.asarray([0.5, 0.3, 0.2])
+    return RankingProblem(relation, ranking_from_scores(scores, k=k))
+
+
+def test_duplicate_inflight_queries_are_coalesced():
+    problem = build_problem()
+
+    async def scenario():
+        options = QueryServerOptions(batch_window=0.02, max_batch=8)
+        async with QueryServer(options=options) as server:
+            responses = await asyncio.gather(
+                *[server.submit(problem, "symgd", FAST_PARAMS) for _ in range(6)]
+            )
+            return server.engine.solver_invocations, server.stats(), responses
+
+    invocations, stats, responses = asyncio.run(scenario())
+    assert invocations == 1  # six identical queries, one solve
+    assert stats.requests == 6
+    assert stats.coalesced == 5
+    errors = {response.result.error for response in responses}
+    assert len(errors) == 1
+
+
+def test_distinct_queries_share_a_batch():
+    problems = [build_problem(k=k) for k in (3, 4, 5)]
+
+    async def scenario():
+        options = QueryServerOptions(batch_window=0.05, max_batch=8)
+        async with QueryServer(options=options) as server:
+            responses = await asyncio.gather(
+                *[server.submit(p, "symgd", FAST_PARAMS) for p in problems]
+            )
+            return server.stats(), responses
+
+    stats, responses = asyncio.run(scenario())
+    assert stats.requests == 3
+    assert stats.coalesced == 0
+    assert stats.solver_invocations == 3
+    # All three arrived inside one batching window.
+    assert stats.batches == 1
+    assert all(response.batch_size == 3 for response in responses)
+
+
+def test_repeated_query_served_from_cache_without_solver():
+    problem = build_problem()
+
+    async def scenario():
+        async with QueryServer(
+            options=QueryServerOptions(batch_window=0.0)
+        ) as server:
+            first = await server.submit(problem, "symgd", FAST_PARAMS)
+            second = await server.submit(problem, "symgd", FAST_PARAMS)
+            return server.engine.solver_invocations, first, second
+
+    invocations, first, second = asyncio.run(scenario())
+    assert invocations == 1
+    assert not first.cache_hit
+    assert second.cache_hit and not second.coalesced
+    assert second.result.error == first.result.error
+
+
+def test_shared_engine_is_not_closed_and_cache_spans_servers():
+    problem = build_problem()
+    engine = SolveEngine(backend="serial")
+
+    async def run_once():
+        async with QueryServer(engine=engine) as server:
+            return await server.submit(problem, "symgd", FAST_PARAMS)
+
+    first = asyncio.run(run_once())
+    second = asyncio.run(run_once())
+    assert not first.cache_hit
+    assert second.cache_hit
+    assert engine.solver_invocations == 1
+    engine.close()
+
+
+def test_coalesced_responses_do_not_alias_each_other():
+    problem = build_problem()
+
+    async def scenario():
+        options = QueryServerOptions(batch_window=0.02, max_batch=8)
+        async with QueryServer(options=options) as server:
+            return await asyncio.gather(
+                *[server.submit(problem, "symgd", FAST_PARAMS) for _ in range(3)]
+            )
+
+    responses = asyncio.run(scenario())
+    responses[0].result.weights[:] = -1.0
+    for response in responses[1:]:
+        assert np.all(response.result.weights >= 0.0)
+
+
+def test_submit_racing_stop_is_answered_not_hung():
+    problems = [build_problem(k=k) for k in (3, 4, 5)]
+
+    async def scenario():
+        server = QueryServer(options=QueryServerOptions(batch_window=0.05))
+        await server.start()
+        loop = asyncio.get_running_loop()
+        submits = [
+            loop.create_task(server.submit(p, "ordinal_regression"))
+            for p in problems
+        ]
+        stop_task = loop.create_task(server.stop())
+        # Every query enqueued before stop() flipped the closing flag must
+        # still resolve (the loop drains the queue past the sentinel).
+        responses = await asyncio.wait_for(asyncio.gather(*submits), timeout=60)
+        await stop_task
+        # Once stopped, new submissions are rejected instead of hanging.
+        with pytest.raises(RuntimeError):
+            await server.submit(problems[0], "ordinal_regression")
+        return responses
+
+    responses = asyncio.run(scenario())
+    assert len(responses) == 3
+    assert all(response.result.error >= 0 for response in responses)
+
+
+def test_submit_requires_started_server():
+    server = QueryServer()
+
+    async def scenario():
+        with pytest.raises(RuntimeError):
+            await server.submit(build_problem(), "symgd", FAST_PARAMS)
+
+    asyncio.run(scenario())
+
+
+def test_stats_shape_and_wire_format():
+    problem = build_problem()
+
+    async def scenario():
+        async with QueryServer(
+            options=QueryServerOptions(batch_window=0.0)
+        ) as server:
+            response = await server.submit(problem, "symgd", FAST_PARAMS)
+            return server.stats(), response
+
+    stats, response = asyncio.run(scenario())
+    assert stats.requests == 1
+    assert stats.wall_time >= 0.0
+    assert stats.throughput > 0.0
+    assert "hit_rate" in stats.cache
+    assert "requests in" in stats.describe()
+
+    wire = response.to_dict()
+    assert wire["request_id"] == response.request_id
+    assert wire["result"]["error"] == response.result.error
+    import json
+
+    json.dumps(wire)  # the whole response must be JSON-clean

@@ -27,6 +27,8 @@ def test_version_and_public_api():
         "repro.baselines",
         "repro.bench",
         "repro.bench.experiments",
+        "repro.engine",
+        "repro.service",
     ],
 )
 def test_submodules_importable(module):
