@@ -64,8 +64,23 @@ async def main() -> None:
 
         print("Burst 2: same queries again (cache should answer everything) ...")
         await fire_burst(server, problems)
+        print("  " + server.stats().describe())
+
+        # The server serves ANY registered method: the payload names it.
+        print("Burst 3: mixed methods on one problem (baselines share the "
+              "same cache and batching path) ...")
+        mixed = await asyncio.gather(
+            server.submit(problems[0], "linear_regression"),
+            server.submit(problems[0], "ordinal_regression"),
+            server.submit(problems[0], "adarank", {"num_rounds": 10}),
+            server.submit(problems[0], "sampling", {"num_samples": 300}),
+        )
+        for response in mixed:
+            print(
+                f"  {response.result.method}: error={response.result.error} "
+                f"cache_hit={response.cache_hit}"
+            )
         stats = server.stats()
-        print("  " + stats.describe())
         print(
             f"\nTotals: {stats.requests} requests answered by "
             f"{stats.solver_invocations} solver invocations "

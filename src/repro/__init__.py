@@ -27,10 +27,13 @@ Sub-packages:
 * :mod:`repro.bench` -- the experiment harness reproducing every table/figure.
 * :mod:`repro.engine` -- executors, fingerprints, and the result cache.
 * :mod:`repro.service` -- the async, coalescing, batching query front-end.
+* :mod:`repro.api` -- the method registry and the :class:`RankHowClient`
+  facade: every solver and baseline behind one cached, serializable
+  interface (``repro.list_methods()`` names them all).
 
-The engine and service layers are exported lazily (``repro.SolveEngine``,
-``repro.QueryServer``) so that importing :mod:`repro` stays as light as the
-core algorithms.
+The api, engine, and service layers are exported lazily
+(``repro.RankHowClient``, ``repro.SolveEngine``, ``repro.QueryServer``) so
+that importing :mod:`repro` stays as light as the core algorithms.
 """
 
 from repro.core import (
@@ -89,6 +92,14 @@ __all__ = [
     "ResultCache",
     "QueryServer",
     "QueryServerOptions",
+    "RankHowClient",
+    "SynthesisRequest",
+    "SynthesisMethod",
+    "MethodRegistry",
+    "register_method",
+    "get_method",
+    "list_methods",
+    "method_capabilities",
     "__version__",
 ]
 
@@ -98,6 +109,14 @@ _LAZY_EXPORTS = {
     "ResultCache": ("repro.engine", "ResultCache"),
     "QueryServer": ("repro.service", "QueryServer"),
     "QueryServerOptions": ("repro.service", "QueryServerOptions"),
+    "RankHowClient": ("repro.api", "RankHowClient"),
+    "SynthesisRequest": ("repro.api", "SynthesisRequest"),
+    "SynthesisMethod": ("repro.api", "SynthesisMethod"),
+    "MethodRegistry": ("repro.api", "MethodRegistry"),
+    "register_method": ("repro.api", "register_method"),
+    "get_method": ("repro.api", "get_method"),
+    "list_methods": ("repro.api", "list_methods"),
+    "method_capabilities": ("repro.api", "method_capabilities"),
 }
 
 

@@ -1,0 +1,60 @@
+"""Unified public API: the method registry and the client facade.
+
+* :mod:`repro.api.registry` -- :class:`SynthesisMethod`,
+  :class:`MethodRegistry`, and the ``@register_method`` decorator.
+* :mod:`repro.api.methods` -- adapters registering every solver and baseline
+  (``rankhow``, ``symgd``, ``symgd_adaptive``, ``sampling``,
+  ``ordinal_regression``, ``linear_regression``, ``adarank``, ``tree``,
+  ``tree_naive``) under canonical string names.
+* :mod:`repro.api.request` -- :class:`SynthesisRequest`, the serializable
+  problem + method + options unit of work.
+* :mod:`repro.api.client` -- :class:`RankHowClient`, the cached, batched
+  front door over the solve engine.
+
+``SynthesisRequest`` and ``RankHowClient`` are exported lazily: they build
+on :mod:`repro.engine`, whose task layer in turn dispatches through this
+registry, and the lazy hop keeps that mutual dependency acyclic at import
+time.
+"""
+
+from repro.api.registry import (
+    GLOBAL_REGISTRY,
+    MethodRegistry,
+    SynthesisMethod,
+    get_method,
+    list_methods,
+    method_capabilities,
+    register_method,
+)
+
+# Importing the adapters populates GLOBAL_REGISTRY as a side effect.
+import repro.api.methods  # noqa: F401  (registration import)
+
+__all__ = [
+    "GLOBAL_REGISTRY",
+    "MethodRegistry",
+    "RankHowClient",
+    "SynthesisMethod",
+    "SynthesisRequest",
+    "get_method",
+    "list_methods",
+    "method_capabilities",
+    "register_method",
+]
+
+#: Lazily resolved attributes -> (module, attribute).
+_LAZY_EXPORTS = {
+    "SynthesisRequest": ("repro.api.request", "SynthesisRequest"),
+    "RankHowClient": ("repro.api.client", "RankHowClient"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value

@@ -1,0 +1,94 @@
+"""The serializable unit of work: one problem + one method + wire options.
+
+:class:`SynthesisRequest` is what the :class:`~repro.api.client.RankHowClient`
+facade, the query service, and any external caller construct.  It validates
+the method name and options against the registry at construction time (fail
+fast, before anything is queued), resolves options to their canonical
+post-merge form, and round-trips through JSON via the same ``to_dict`` /
+``from_dict`` wire format the engine's on-disk cache uses.  Its fingerprint
+is the engine's content-addressed digest, covering the problem, the method
+identity, and the resolved options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.registry import get_method
+from repro.core.problem import RankingProblem
+from repro.core.result import jsonable
+
+__all__ = ["SynthesisRequest"]
+
+
+@dataclass
+class SynthesisRequest:
+    """One synthesis request addressed by method name.
+
+    Attributes:
+        problem: The ranking problem to synthesize a function for.
+        method: Registered method name (see :func:`repro.api.list_methods`).
+        options: Wire-format options mapping (or an options dataclass with
+            ``to_dict``); unknown keys are rejected at construction time.
+    """
+
+    problem: RankingProblem
+    method: str = "symgd"
+    options: dict = field(default_factory=dict)
+    _effective: dict | None = field(default=None, init=False, repr=False, compare=False)
+    _fingerprint: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # The registry lookup also rejects unknown methods, before the
+        # request is fingerprinted or queued anywhere.
+        method = get_method(self.method)
+        if hasattr(self.options, "to_dict"):
+            # A full dataclass dump may carry keys the wire format fixes by
+            # method name; the method strips them (or raises on conflict).
+            self.options = method.from_dataclass_dump(self.options.to_dict())
+        else:
+            self.options = dict(self.options or {})
+        # Misplaced option keys fail here, loudly.
+        method.validate_options(self.options)
+
+    @property
+    def effective(self) -> dict:
+        """Canonical post-merge options (computed once, reused everywhere)."""
+        if self._effective is None:
+            self._effective = get_method(self.method).resolve_options(self.options)
+        return self._effective
+
+    @property
+    def fingerprint(self) -> str:
+        """Content-addressed digest of (problem, method, resolved options)."""
+        if self._fingerprint is None:
+            # Imported here, not at module scope: the engine aliases this
+            # class as its SolveRequest, so a module-level engine import
+            # would be circular on the `from repro.api import ...` path.
+            from repro.engine.fingerprint import fingerprint
+
+            self._fingerprint = fingerprint(self.problem, self.method, self.effective)
+        return self._fingerprint
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire format (inverse: :meth:`from_dict`).
+
+        Options are sanitized (ndarray-valued entries such as ``warm_start``
+        or ``seed_point`` become float lists) so the output always survives
+        ``json.dumps``.
+        """
+        return {
+            "problem": self.problem.to_dict(),
+            "method": self.method,
+            "options": jsonable(dict(self.options)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthesisRequest":
+        return cls(
+            problem=RankingProblem.from_dict(data["problem"]),
+            method=data.get("method", "symgd"),
+            options=dict(data.get("options") or {}),
+        )

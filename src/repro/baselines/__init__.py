@@ -10,17 +10,22 @@
 * :class:`~repro.baselines.sampling.SamplingBaseline` -- random weight
   vectors under the problem constraints within a time or sample budget.
 
-Every baseline exposes ``solve(problem) -> SynthesisResult`` so the harness
-and the benchmarks can swap algorithms freely.
+Every baseline exposes ``solve(problem) -> SynthesisResult``.
+
+.. deprecated:: 1.1
+    Constructing the baseline classes directly through this package is
+    deprecated: the registry (:func:`repro.get_method`, canonical names
+    ``sampling`` / ``ordinal_regression`` / ``linear_regression`` /
+    ``adarank``) and the :class:`repro.RankHowClient` facade are the
+    supported entry points -- they add option validation, fingerprinting,
+    caching, and executor fan-out.  Accessing a baseline class here still
+    works but emits a :class:`DeprecationWarning`.  The options dataclasses
+    remain first-class (they are the wire format).
 """
 
-from repro.baselines.adarank import AdaRankBaseline, AdaRankOptions
-from repro.baselines.linear_regression import LinearRegressionBaseline
-from repro.baselines.ordinal_regression import (
-    OrdinalRegressionBaseline,
-    OrdinalRegressionOptions,
-)
-from repro.baselines.sampling import SamplingBaseline, SamplingOptions
+from repro.baselines.adarank import AdaRankOptions
+from repro.baselines.ordinal_regression import OrdinalRegressionOptions
+from repro.baselines.sampling import SamplingOptions
 
 __all__ = [
     "AdaRankBaseline",
@@ -31,3 +36,30 @@ __all__ = [
     "SamplingBaseline",
     "SamplingOptions",
 ]
+
+#: Deprecated solver classes -> defining module.  Resolved lazily so the
+#: warning fires exactly when a caller reaches for the class; internal code
+#: (the registry adapters) imports from the defining modules directly and
+#: stays silent.
+_DEPRECATED_CLASSES = {
+    "AdaRankBaseline": "repro.baselines.adarank",
+    "LinearRegressionBaseline": "repro.baselines.linear_regression",
+    "OrdinalRegressionBaseline": "repro.baselines.ordinal_regression",
+    "SamplingBaseline": "repro.baselines.sampling",
+}
+
+
+def __getattr__(name: str):
+    module_name = _DEPRECATED_CLASSES.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"repro.baselines.{name} is deprecated; dispatch through the method "
+        "registry instead (repro.get_method / repro.RankHowClient)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), name)

@@ -43,6 +43,20 @@ class AdaRankOptions:
     num_rounds: int = 20
     allow_repeats: bool = True
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable representation (for fingerprinting)."""
+        return {
+            "num_rounds": int(self.num_rounds),
+            "allow_repeats": bool(self.allow_repeats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdaRankOptions":
+        return cls(
+            num_rounds=int(data.get("num_rounds", 20)),
+            allow_repeats=bool(data.get("allow_repeats", True)),
+        )
+
 
 class AdaRankBaseline:
     """Boosting over single-attribute weak rankers."""

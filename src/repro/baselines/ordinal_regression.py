@@ -55,6 +55,33 @@ class OrdinalRegressionOptions:
     lp_method: str = "scipy"
     apply_weight_constraints: bool = True
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable representation (for fingerprinting)."""
+        return {
+            "support_ties": bool(self.support_ties),
+            "separation_margin": (
+                None
+                if self.separation_margin is None
+                else float(self.separation_margin)
+            ),
+            "include_unranked": bool(self.include_unranked),
+            "lp_method": self.lp_method,
+            "apply_weight_constraints": bool(self.apply_weight_constraints),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OrdinalRegressionOptions":
+        margin = data.get("separation_margin")
+        return cls(
+            support_ties=bool(data.get("support_ties", True)),
+            separation_margin=None if margin is None else float(margin),
+            include_unranked=bool(data.get("include_unranked", True)),
+            lp_method=data.get("lp_method", "scipy"),
+            apply_weight_constraints=bool(
+                data.get("apply_weight_constraints", True)
+            ),
+        )
+
 
 class OrdinalRegressionBaseline:
     """LP ordinal regression over the given ranking."""

@@ -19,7 +19,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.baselines import OrdinalRegressionBaseline, OrdinalRegressionOptions
+from repro.api.registry import get_method
 from repro.bench.harness import (
     BenchmarkScale,
     MethodBudget,
@@ -32,8 +32,8 @@ from repro.bench.harness import (
 from repro.bench.reporting import ExperimentRecord
 from repro.core.precision import verify_weights
 from repro.core.problem import RankingProblem, ToleranceSettings
-from repro.core.rankhow import RankHow, RankHowOptions
-from repro.core.symgd import SymGD, SymGDOptions
+from repro.core.rankhow import RankHowOptions
+from repro.core.symgd import SymGDOptions
 from repro.data.rankings import ranking_from_scores
 
 __all__ = [
@@ -194,19 +194,19 @@ def _run_methods_on_problem(
         warm_start = best_weights
         refine_time = 0.0
         if best_weights is not None and best_error is not None and best_error > 0:
-            refined = SymGD(
-                SymGDOptions(
-                    cell_size=0.1,
-                    adaptive=True,
-                    time_limit=min(6.0, budget.time_limit or 6.0),
-                    seed_point=best_weights,
-                    solver_options=RankHowOptions(
-                        node_limit=max(budget.node_limit, 150),
-                        verify=False,
-                        warm_start_strategy="none",
-                    ),
-                )
-            ).solve(problem)
+            refined = get_method("symgd_adaptive").synthesize(
+                problem,
+                {
+                    "cell_size": 0.1,
+                    "time_limit": min(6.0, budget.time_limit or 6.0),
+                    "seed_point": best_weights,
+                    "solver_options": {
+                        "node_limit": max(budget.node_limit, 150),
+                        "verify": False,
+                        "warm_start_strategy": "none",
+                    },
+                },
+            )
             refine_time = refined.solve_time
             if 0 <= refined.error <= best_error:
                 warm_start = refined.weights
@@ -374,9 +374,10 @@ def experiment_table3_numerics(
                 attributes=base.attributes,
                 tolerances=tolerance,
             )
-            rankhow_result = RankHow(
-                RankHowOptions(node_limit=200, time_limit=scale.rankhow_time_limit)
-            ).solve(problem)
+            rankhow_result = get_method("rankhow").synthesize(
+                problem,
+                {"node_limit": 200, "time_limit": scale.rankhow_time_limit},
+            )
             rankhow_exact = verify_weights(problem, rankhow_result.weights).exact_error
             records.append(
                 ExperimentRecord(
@@ -390,9 +391,9 @@ def experiment_table3_numerics(
                     extra={"claimed": rankhow_result.objective},
                 )
             )
-            ordinal = OrdinalRegressionBaseline(
-                OrdinalRegressionOptions(separation_margin=tolerance.eps1)
-            ).solve(problem)
+            ordinal = get_method("ordinal_regression").synthesize(
+                problem, {"separation_margin": tolerance.eps1}
+            )
             ordinal_exact = verify_weights(problem, ordinal.weights).exact_error
             records.append(
                 ExperimentRecord(
@@ -480,15 +481,18 @@ def experiment_fig3i_cell_size(
     )
     records = []
     for cell_size in cell_sizes:
-        options = SymGDOptions(
-            cell_size=cell_size,
-            adaptive=False,
-            time_limit=scale.symgd_time_limit,
-            solver_options=RankHowOptions(
-                node_limit=100, verify=False, warm_start_strategy="none"
-            ),
+        result = get_method("symgd").synthesize(
+            problem,
+            {
+                "cell_size": cell_size,
+                "time_limit": scale.symgd_time_limit,
+                "solver_options": {
+                    "node_limit": 100,
+                    "verify": False,
+                    "warm_start_strategy": "none",
+                },
+            },
         )
-        result = SymGD(options).solve(problem)
         records.append(
             _record(
                 "fig3i",
@@ -522,15 +526,18 @@ def experiment_fig3jkl_scalability(
                 k=k,
                 exponent=3.0,
             )
-            options = SymGDOptions(
-                cell_size=0.01,
-                adaptive=False,
-                time_limit=scale.symgd_time_limit,
-                solver_options=RankHowOptions(
-                    node_limit=100, verify=False, warm_start_strategy="none"
-                ),
+            result = get_method("symgd").synthesize(
+                problem,
+                {
+                    "cell_size": 0.01,
+                    "time_limit": scale.symgd_time_limit,
+                    "solver_options": {
+                        "node_limit": 100,
+                        "verify": False,
+                        "warm_start_strategy": "none",
+                    },
+                },
             )
-            result = SymGD(options).solve(problem)
             records.append(
                 _record(
                     f"fig3jkl_{distribution}",
@@ -677,15 +684,18 @@ def experiment_fig3mno_derived(
                     exponent=exponent,
                     with_derived=with_derived,
                 )
-                options = SymGDOptions(
-                    cell_size=0.05,
-                    adaptive=False,
-                    time_limit=scale.symgd_time_limit,
-                    solver_options=RankHowOptions(
-                        node_limit=100, verify=False, warm_start_strategy="none"
-                    ),
+                result = get_method("symgd").synthesize(
+                    problem,
+                    {
+                        "cell_size": 0.05,
+                        "time_limit": scale.symgd_time_limit,
+                        "solver_options": {
+                            "node_limit": 100,
+                            "verify": False,
+                            "warm_start_strategy": "none",
+                        },
+                    },
                 )
-                result = SymGD(options).solve(problem)
                 records.append(
                     _record(
                         f"fig3mno_{distribution}",

@@ -60,6 +60,28 @@ class TreeOptions:
     strategy: str = "dfs"
     lp_method: str = "scipy"
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable representation (for fingerprinting)."""
+        return {
+            "time_limit": None if self.time_limit is None else float(self.time_limit),
+            "node_limit": int(self.node_limit),
+            "use_separation_gap": bool(self.use_separation_gap),
+            "prune_by_bound": bool(self.prune_by_bound),
+            "strategy": self.strategy,
+            "lp_method": self.lp_method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TreeOptions":
+        return cls(
+            time_limit=data.get("time_limit"),
+            node_limit=int(data.get("node_limit", 2_000_000)),
+            use_separation_gap=bool(data.get("use_separation_gap", True)),
+            prune_by_bound=bool(data.get("prune_by_bound", True)),
+            strategy=data.get("strategy", "dfs"),
+            lp_method=data.get("lp_method", "scipy"),
+        )
+
 
 @dataclass
 class _TreeNode:

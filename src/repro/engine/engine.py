@@ -15,64 +15,26 @@ and exposes three operations:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.api.registry import get_method
+from repro.api.request import SynthesisRequest
 from repro.core.problem import RankingProblem
 from repro.core.result import SynthesisResult
 from repro.core.symgd import SymGD, SymGDOptions
 from repro.engine.cache import ResultCache
 from repro.engine.executor import Executor, get_executor
-from repro.engine.fingerprint import fingerprint
-from repro.engine.tasks import (
-    SOLVE_METHODS,
-    effective_params,
-    solve_request_task,
-    validate_params,
-)
+from repro.engine.tasks import solve_request_task
 
 __all__ = ["SolveRequest", "SolveOutcome", "SolveEngine"]
 
-
-@dataclass
-class SolveRequest:
-    """One how-to-rank request: a problem, a method name, and wire options."""
-
-    problem: RankingProblem
-    method: str = "symgd"
-    params: dict = field(default_factory=dict)
-    _fingerprint: str | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _effective: dict | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
-
-    def __post_init__(self) -> None:
-        if self.method not in SOLVE_METHODS:
-            raise ValueError(
-                f"unknown method {self.method!r}; expected one of {SOLVE_METHODS}"
-            )
-        # Fail fast (at submit time, before fingerprinting or queueing) on
-        # wire params the method would silently ignore.
-        validate_params(self.method, self.params)
-
-    @property
-    def effective(self) -> dict:
-        """Resolved post-merge options (computed once, reused by the worker)."""
-        if self._effective is None:
-            self._effective = effective_params(self.method, self.params)
-        return self._effective
-
-    @property
-    def fingerprint(self) -> str:
-        # Cached: the service front-end and the engine both ask, and hashing
-        # the full attribute matrix is the dominant front-end cost.  The
-        # digest covers the *effective* (post-merge) options, so spelling a
-        # default out explicitly does not fragment the cache.
-        if self._fingerprint is None:
-            self._fingerprint = fingerprint(self.problem, self.method, self.effective)
-        return self._fingerprint
+#: The engine-level name for one how-to-rank request.  There is exactly one
+#: implementation of the request contract (problem + method + wire options,
+#: construction-time validation, cached resolved options and fingerprint):
+#: :class:`repro.api.request.SynthesisRequest`.  Aliasing it keeps the client
+#: path and the service path fingerprint-compatible by construction.
+SolveRequest = SynthesisRequest
 
 
 @dataclass
@@ -157,8 +119,14 @@ class SolveEngine:
                 pending[key] = request
 
         if pending:
+            # The method adapter travels as an object (not a name).  The
+            # instance pickles by value, but its *class* pickles by
+            # reference, so unpickling in a process worker imports the
+            # adapter's defining module (re-running its registration); a
+            # runtime-registered method from an importable module therefore
+            # solves correctly even under spawn-based pools.
             payloads = [
-                (request.problem, request.method, request.effective)
+                (request.problem, get_method(request.method), request.effective)
                 for request in pending.values()
             ]
             self.solver_invocations += len(payloads)

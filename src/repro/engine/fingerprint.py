@@ -94,11 +94,22 @@ def fingerprint_cell(cell: Cell) -> str:
 
 
 def fingerprint_options(options) -> str:
-    """Canonical JSON of a solver-options object (or plain params mapping)."""
+    """Canonical JSON of a solver-options object (or plain params mapping).
+
+    Options *objects* are tagged with their module-qualified class name: two
+    different methods' options dataclasses can serialize to identical dicts
+    (both the exact solver and TREE have a ``node_limit`` / ``time_limit`` /
+    ``lp_method`` surface), and without the tag such requests would collide
+    in the content-addressed cache.  The module prefix matters because
+    plugin methods registered at runtime may reuse a class name.  Plain
+    mappings are the registry's wire format, where the method name (hashed
+    separately by :func:`fingerprint`) carries the identity instead.
+    """
     if options is None:
         return "null"
     if hasattr(options, "to_dict"):
-        return canonical_json(options.to_dict())
+        tag = f"{type(options).__module__}.{type(options).__qualname__}"
+        return tag + ":" + canonical_json(options.to_dict())
     return canonical_json(options)
 
 

@@ -6,18 +6,20 @@ function the engine fans out lives here (or at module level next to its
 algorithm).  Payloads are plain tuples of picklable objects --
 :class:`~repro.core.problem.RankingProblem` and every options dataclass
 pickle cleanly.
+
+Method dispatch itself lives in the :mod:`repro.api` registry; this module
+is the thin, picklable bridge between the executor backends and the
+registered :class:`~repro.api.registry.SynthesisMethod` adapters.  The
+helpers (:func:`validate_params`, :func:`effective_params`,
+:func:`build_solver`) are kept as delegating aliases for callers that grew
+up against the pre-registry engine API.
 """
 
 from __future__ import annotations
 
-from repro.baselines.adarank import AdaRankBaseline
-from repro.baselines.linear_regression import LinearRegressionBaseline
-from repro.baselines.ordinal_regression import OrdinalRegressionBaseline
-from repro.baselines.sampling import SamplingBaseline, SamplingOptions
+from repro.api.registry import GLOBAL_REGISTRY, get_method
 from repro.core.problem import RankingProblem
-from repro.core.rankhow import RankHow, RankHowOptions
 from repro.core.result import SynthesisResult
-from repro.core.symgd import SymGD, SymGDOptions
 
 __all__ = [
     "SOLVE_METHODS",
@@ -28,31 +30,10 @@ __all__ = [
 ]
 
 #: Methods the engine (and therefore the query service) can dispatch.
-SOLVE_METHODS: tuple[str, ...] = (
-    "rankhow",
-    "symgd",
-    "symgd_adaptive",
-    "sampling",
-    "ordinal_regression",
-    "linear_regression",
-    "adarank",
-)
-
-#: Wire-format keys each method accepts.  ``adaptive`` is excluded for the
-#: SYM-GD methods because the method name itself decides it; ``chunk_size``
-#: is excluded for sampling because the service path never uses the chunked
-#: executor, so the knob could only fragment the fingerprint space.
-_RANKHOW_KEYS = set(RankHowOptions.__dataclass_fields__)
-_SYMGD_KEYS = set(SymGDOptions.__dataclass_fields__) - {"adaptive"}
-_PARAM_KEYS: dict[str, set[str]] = {
-    "rankhow": _RANKHOW_KEYS,
-    "symgd": _SYMGD_KEYS,
-    "symgd_adaptive": _SYMGD_KEYS,
-    "sampling": set(SamplingOptions.__dataclass_fields__) - {"chunk_size"},
-    "ordinal_regression": set(),
-    "linear_regression": set(),
-    "adarank": set(),
-}
+#: Snapshot of the registry at import time; use
+#: :func:`repro.api.list_methods` for a live view that includes methods
+#: registered later.
+SOLVE_METHODS: tuple[str, ...] = GLOBAL_REGISTRY.names()
 
 
 def validate_params(method: str, params: dict | None) -> None:
@@ -64,87 +45,29 @@ def validate_params(method: str, params: dict | None) -> None:
     effect on the solve.  Failing loudly keeps the fingerprint space aligned
     with actual solver behaviour.
     """
-    if method not in _PARAM_KEYS:
-        raise ValueError(
-            f"unknown method {method!r}; expected one of {SOLVE_METHODS}"
-        )
-    params = params or {}
-    unknown = set(params) - _PARAM_KEYS[method]
-    if unknown:
-        allowed = sorted(_PARAM_KEYS[method]) or "none"
-        raise ValueError(
-            f"unknown parameter(s) for method {method!r}: {sorted(unknown)} "
-            f"(allowed: {allowed})"
-        )
-    nested = params.get("solver_options")
-    if method in ("symgd", "symgd_adaptive") and nested is not None:
-        nested_unknown = set(nested) - _RANKHOW_KEYS
-        if nested_unknown:
-            raise ValueError(
-                f"unknown solver_options key(s) for method {method!r}: "
-                f"{sorted(nested_unknown)} (allowed: {sorted(_RANKHOW_KEYS)})"
-            )
+    get_method(method).validate_options(params)
 
 
 def effective_params(method: str, params: dict | None = None) -> dict:
     """The canonical post-merge options a ``(method, params)`` pair resolves to.
 
-    Wire params are merged over service-friendly defaults (modest node
-    limits, no exact verification for the heuristic methods; nested
-    ``solver_options`` deep-merged so tweaking one knob does not silently
-    re-enable exact verification), then every remaining default is spelled
-    out via the options ``to_dict``.  Requests are fingerprinted on *this*
-    dict, so ``{}`` and ``{"cell_size": 0.1}`` (a default written out
-    explicitly) address the same cache entry.
+    Wire params are merged over the method's service-friendly defaults and
+    every remaining default is spelled out, so ``{}`` and a default written
+    out explicitly address the same cache entry (see
+    :meth:`~repro.api.registry.SynthesisMethod.resolve_options`).
     """
-    params = dict(params or {})
-    validate_params(method, params)
-    if method == "rankhow":
-        defaults = {"node_limit": 2000, "time_limit": 30.0}
-        return RankHowOptions.from_dict({**defaults, **params}).to_dict()
-    if method in ("symgd", "symgd_adaptive"):
-        merged = {
-            "cell_size": 1e-4 if method == "symgd_adaptive" else 0.1,
-            **params,
-        }
-        merged["solver_options"] = {
-            "node_limit": 500,
-            "verify": False,
-            "warm_start_strategy": "none",
-            **(params.get("solver_options") or {}),
-        }
-        merged["adaptive"] = method == "symgd_adaptive"
-        return SymGDOptions.from_dict(merged).to_dict()
-    if method == "sampling":
-        return SamplingOptions(**params).to_dict()
-    return {}
-
-
-def _solver_from_effective(method: str, effective: dict):
-    """Solver callable from already-resolved (post-merge) options."""
-    if method == "rankhow":
-        return RankHow(RankHowOptions.from_dict(effective)).solve
-    if method in ("symgd", "symgd_adaptive"):
-        return SymGD(SymGDOptions.from_dict(effective)).solve
-    if method == "sampling":
-        return SamplingBaseline(SamplingOptions(**effective)).solve
-    if method == "ordinal_regression":
-        return OrdinalRegressionBaseline().solve
-    if method == "linear_regression":
-        return LinearRegressionBaseline().solve
-    if method == "adarank":
-        return AdaRankBaseline().solve
-    raise ValueError(f"unknown method {method!r}; expected one of {SOLVE_METHODS}")
+    return get_method(method).resolve_options(params)
 
 
 def build_solver(method: str, params: dict | None = None):
     """Turn ``(method, params)`` into a ``problem -> SynthesisResult`` callable.
 
-    ``params`` is the wire-format options mapping; it is resolved through
-    :func:`effective_params`, so the solver configuration is exactly what the
-    request fingerprint covers.
+    ``params`` is the wire-format options mapping; it is resolved through the
+    method's :meth:`resolve_options`, so the solver configuration is exactly
+    what the request fingerprint covers.
     """
-    return _solver_from_effective(method, effective_params(method, params))
+    adapter = get_method(method)
+    return adapter.build(adapter.resolve_options(params)).solve
 
 
 def solve_request_task(payload: tuple) -> SynthesisResult:
@@ -153,7 +76,16 @@ def solve_request_task(payload: tuple) -> SynthesisResult:
     Picklable entry point for the executors; the options dict is expected to
     be already resolved (see :func:`effective_params`) so the work the
     front-end did for fingerprinting is not repeated in the worker.
+
+    ``method`` may be the registered name or the
+    :class:`~repro.api.registry.SynthesisMethod` instance itself.  The engine
+    sends the instance: it pickles by reference, so a process-pool worker
+    imports the adapter's defining module (registering it as a side effect)
+    instead of depending on the worker's registry already containing a
+    method that was registered at runtime in the parent.
     """
     problem, method, effective = payload
     assert isinstance(problem, RankingProblem)
-    return _solver_from_effective(method, effective)(problem)
+    if isinstance(method, str):
+        method = get_method(method)
+    return method.synthesize_resolved(problem, effective)

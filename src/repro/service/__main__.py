@@ -9,6 +9,7 @@ Examples::
 
     python -m repro.service --dataset nba --queries 24 --distinct 4
     python -m repro.service --backend process --method symgd --json
+    python -m repro.service --methods symgd,sampling --method sampling
 """
 
 from __future__ import annotations
@@ -18,9 +19,9 @@ import asyncio
 import json
 import sys
 
+from repro.api.registry import list_methods
 from repro.bench.harness import csrankings_problem, nba_problem, synthetic_problem
 from repro.core.problem import RankingProblem
-from repro.engine.tasks import SOLVE_METHODS
 from repro.service.server import QueryServer, QueryServerOptions
 
 
@@ -70,6 +71,9 @@ async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
     elif args.method == "sampling":
         params = {"num_samples": args.samples, "seed": args.seed}
     else:
+        # Remaining methods (baselines, tree) terminate on their registry
+        # defaults; tree in particular is capped by the adapter's
+        # service-friendly budgets.
         params = {}
 
     options = QueryServerOptions(
@@ -78,6 +82,7 @@ async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
         batch_window=args.batch_window,
         max_batch=args.max_batch,
         cache_dir=args.cache_dir,
+        allowed_methods=args.allowed_methods,
     )
     server = QueryServer(options=options)
     async with server:
@@ -102,7 +107,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="distinct problems; the rest repeat (default: 4)")
     parser.add_argument("--tuples", type=int, default=120,
                         help="relation size per problem (default: 120)")
-    parser.add_argument("--method", default="symgd", choices=SOLVE_METHODS)
+    parser.add_argument(
+        "--method",
+        default=None,
+        choices=list_methods(),
+        help="method to dispatch in the burst "
+        "(default: symgd, or the first --methods entry)",
+    )
+    parser.add_argument(
+        "--methods",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="restrict which registered methods the server exposes "
+        "(default: all registered methods)",
+    )
     parser.add_argument("--backend", default="serial",
                         choices=("serial", "thread", "process", "auto"))
     parser.add_argument("--workers", type=int, default=None)
@@ -118,6 +136,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit the full per-request records as JSON")
     args = parser.parse_args(argv)
+
+    args.allowed_methods = None
+    if args.methods is not None:
+        allowed = tuple(name.strip() for name in args.methods.split(",") if name.strip())
+        if not allowed:
+            parser.error(
+                "--methods must name at least one registered method "
+                f"(registered: {sorted(list_methods())})"
+            )
+        registered = set(list_methods())
+        unknown = [name for name in allowed if name not in registered]
+        if unknown:
+            parser.error(
+                f"--methods names unknown method(s) {unknown}; "
+                f"registered: {sorted(registered)}"
+            )
+        if args.method is None:
+            # Don't error on the implicit symgd default when the allowlist
+            # excludes it; the burst simply uses the first allowed method.
+            args.method = allowed[0]
+        elif args.method not in allowed:
+            parser.error(
+                f"--method {args.method!r} is not in the --methods allowlist "
+                f"{sorted(allowed)}"
+            )
+        args.allowed_methods = allowed
+    elif args.method is None:
+        args.method = "symgd"
 
     server, responses = asyncio.run(run_burst(args))
     stats = server.stats()

@@ -61,6 +61,10 @@ class QueryServerOptions:
         history_limit: Per-request telemetry records kept in memory; older
             records are dropped (aggregate counters keep counting), so a
             long-running server does not grow without bound.
+        allowed_methods: Registered method names this server is willing to
+            serve; ``None`` serves every registered method.  A deployment
+            restricts this to keep expensive methods (say ``tree``) off an
+            interactive endpoint.
     """
 
     backend: str = "serial"
@@ -70,6 +74,7 @@ class QueryServerOptions:
     cache_capacity: int = 512
     cache_dir: str | None = None
     history_limit: int = 10000
+    allowed_methods: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -164,6 +169,15 @@ class QueryServer:
         options: QueryServerOptions | None = None,
     ) -> None:
         self.options = options or QueryServerOptions()
+        self._allowed_methods: frozenset[str] | None = None
+        if self.options.allowed_methods is not None:
+            # Validate eagerly: a typo in a deployment's method allowlist
+            # should fail at server construction, not on the first query.
+            from repro.api.registry import get_method
+
+            for name in self.options.allowed_methods:
+                get_method(name)
+            self._allowed_methods = frozenset(self.options.allowed_methods)
         self._owns_engine = engine is None
         self.engine = engine or SolveEngine(
             backend=self.options.backend,
@@ -242,6 +256,11 @@ class QueryServer:
         """
         if self._loop_task is None or self._closing:
             raise RuntimeError("QueryServer is not running; call start() first")
+        if self._allowed_methods is not None and method not in self._allowed_methods:
+            raise ValueError(
+                f"method {method!r} is not served by this endpoint; "
+                f"allowed methods: {sorted(self._allowed_methods)}"
+            )
         assert self._queue is not None
         self._request_counter += 1
         if request_id is None:

@@ -1,0 +1,143 @@
+"""RankHowClient: every method by string name, cache round-trips, batching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RankHowClient, SynthesisRequest
+from repro.core.result import SynthesisResult
+
+#: Fast wire options per method, sized for a 30-tuple test problem.
+FAST_OPTIONS = {
+    "rankhow": {"node_limit": 80, "time_limit": 5.0, "verify": False,
+                "warm_start_strategy": "none"},
+    "symgd": {
+        "max_iterations": 3,
+        "solver_options": {"node_limit": 50, "verify": False,
+                           "warm_start_strategy": "none"},
+    },
+    "symgd_adaptive": {
+        "max_iterations": 3,
+        "solver_options": {"node_limit": 50, "verify": False,
+                           "warm_start_strategy": "none"},
+    },
+    "sampling": {"num_samples": 50, "seed": 1},
+    "ordinal_regression": {},
+    "linear_regression": {},
+    "adarank": {"num_rounds": 5},
+    "tree": {"time_limit": 5.0, "node_limit": 2000},
+    "tree_naive": {"time_limit": 5.0, "node_limit": 2000},
+}
+
+
+def test_every_method_is_invocable_by_string_name(small_api_problem):
+    """The acceptance criterion: one interface for every registered method."""
+    from repro.api import list_methods
+
+    assert set(FAST_OPTIONS) == set(list_methods())
+    problem = small_api_problem
+    with RankHowClient() as client:
+        for method, options in FAST_OPTIONS.items():
+            outcome = client.synthesize(SynthesisRequest(problem, method, options))
+            assert isinstance(outcome.result, SynthesisResult), method
+            assert outcome.result.error >= 0, method
+            assert not outcome.cache_hit, method
+
+
+@pytest.mark.parametrize("method", ["linear_regression", "sampling", "adarank"])
+def test_baselines_round_trip_through_the_cache(method, small_api_problem):
+    """Second identical request is a cache hit for baselines, not just SYM-GD."""
+    problem = small_api_problem
+    with RankHowClient() as client:
+        first = client.synthesize(
+            SynthesisRequest(problem, method, dict(FAST_OPTIONS[method]))
+        )
+        second = client.synthesize(
+            SynthesisRequest(problem, method, dict(FAST_OPTIONS[method]))
+        )
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.fingerprint == first.fingerprint
+        assert second.result.error == first.result.error
+        assert client.engine.solver_invocations == 1
+
+
+def test_synthesize_many_mixed_methods_preserves_order_and_dedups(small_api_problem):
+    problem = small_api_problem
+    requests = [
+        SynthesisRequest(problem, "linear_regression"),
+        SynthesisRequest(problem, "adarank", {"num_rounds": 5}),
+        SynthesisRequest(problem, "linear_regression"),  # duplicate of [0]
+        SynthesisRequest(problem, "ordinal_regression"),
+    ]
+    with RankHowClient() as client:
+        outcomes = client.synthesize_many(requests)
+        assert [o.result.method for o in outcomes] == [
+            "linear_regression",
+            "adarank",
+            "linear_regression",
+            "ordinal_regression",
+        ]
+        # The in-batch duplicate collapsed onto one solve.
+        assert client.engine.solver_invocations == 3
+        # A repeat of the whole batch is served entirely from the cache.
+        repeat = client.synthesize_many(requests)
+        assert all(outcome.cache_hit for outcome in repeat)
+        assert client.engine.solver_invocations == 3
+        assert [o.fingerprint for o in repeat] == [o.fingerprint for o in outcomes]
+
+
+def test_convenience_signature_and_compare(small_api_problem):
+    problem = small_api_problem
+    with RankHowClient() as client:
+        outcome = client.synthesize(problem, "linear_regression")
+        assert outcome.result.method == "linear_regression"
+        # The convenience path accepts options dataclasses, like the request.
+        from repro.baselines.adarank import AdaRankOptions
+
+        outcome = client.synthesize(problem, "adarank", AdaRankOptions(num_rounds=5))
+        assert outcome.result.method == "adarank"
+        # Ambiguous call: a prepared request plus explicit method/options
+        # must fail loudly instead of silently dispatching the wrong method.
+        with pytest.raises(TypeError, match="not both"):
+            client.synthesize(
+                SynthesisRequest(problem, "linear_regression"), "adarank"
+            )
+        report = client.compare(
+            problem,
+            methods=["linear_regression", "adarank"],
+            options={"adarank": {"num_rounds": 5}},
+        )
+        assert set(report) == {"linear_regression", "adarank"}
+        # compare shares the client's cache with earlier calls.
+        assert report["linear_regression"].cache_hit
+        # A typoed method name in the options mapping fails loudly instead
+        # of silently running that method with defaults.
+        with pytest.raises(ValueError, match="linear_regresion"):
+            client.compare(
+                problem,
+                methods=["linear_regression"],
+                options={"linear_regresion": {"non_negative": True}},
+            )
+
+
+def test_client_shares_an_engine_with_the_service_layer(small_api_problem):
+    from repro.engine import SolveEngine
+
+    problem = small_api_problem
+    with SolveEngine(backend="serial") as engine:
+        client = RankHowClient(engine)
+        client.synthesize(SynthesisRequest(problem, "linear_regression"))
+        outcome = engine.solve(problem, "linear_regression")
+        assert outcome.cache_hit
+        # close() on a shared engine must leave it usable.
+        client.close()
+        assert engine.solve(problem, "linear_regression").cache_hit
+
+
+def test_client_introspection():
+    with RankHowClient() as client:
+        assert "rankhow" in client.list_methods()
+        assert client.capabilities()["rankhow"]["exact"] is True
+        stats = client.stats()
+        assert stats["backend"] == "serial"

@@ -1,0 +1,61 @@
+"""Deprecated entry points keep working, delegate, and warn."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rankhow import RankHowOptions, solve_exact
+
+_FAST = RankHowOptions(
+    node_limit=80, time_limit=5.0, verify=False, warm_start_strategy="none"
+)
+
+
+def test_solve_exact_warns_and_still_solves(small_api_problem):
+    problem = small_api_problem
+    with pytest.warns(DeprecationWarning, match="solve_exact"):
+        result = solve_exact(problem, _FAST)
+    assert result.method == "rankhow"
+    assert result.error >= 0
+    # The shim delegates to the registered method: same outcome.
+    from repro.api import get_method
+
+    direct = get_method("rankhow").synthesize(problem, _FAST.to_dict())
+    assert direct.error == result.error
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "SamplingBaseline",
+        "LinearRegressionBaseline",
+        "OrdinalRegressionBaseline",
+        "AdaRankBaseline",
+    ],
+)
+def test_package_level_baseline_access_warns(name):
+    import repro.baselines as baselines
+
+    with pytest.warns(DeprecationWarning, match=name):
+        cls = getattr(baselines, name)
+    # The shim hands back the real, working class.
+    import importlib
+
+    module = importlib.import_module(baselines._DEPRECATED_CLASSES[name])
+    assert cls is getattr(module, name)
+
+
+def test_deprecated_baseline_still_solves(small_api_problem):
+    with pytest.warns(DeprecationWarning):
+        from repro.baselines import LinearRegressionBaseline
+    result = LinearRegressionBaseline().solve(small_api_problem)
+    assert result.method == "linear_regression"
+
+
+def test_options_classes_are_not_deprecated(recwarn):
+    from repro.baselines import AdaRankOptions, SamplingOptions  # noqa: F401
+
+    deprecations = [
+        w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+    ]
+    assert not deprecations

@@ -1,0 +1,102 @@
+"""SynthesisRequest: validation, wire format, fingerprint semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import SynthesisRequest
+from repro.engine import SolveRequest
+
+
+def test_validates_method_and_options_at_construction(small_api_problem):
+    problem = small_api_problem
+    with pytest.raises(ValueError, match="registered methods"):
+        SynthesisRequest(problem, "gradient_descent")
+    with pytest.raises(ValueError, match="num_samples"):
+        SynthesisRequest(problem, "adarank", {"num_samples": 10})
+
+
+def test_wire_round_trip_preserves_fingerprint(small_api_problem):
+    request = SynthesisRequest(
+        small_api_problem, "sampling", {"num_samples": 64, "seed": 3}
+    )
+    restored = SynthesisRequest.from_dict(request.to_dict())
+    assert restored.method == "sampling"
+    assert restored.options == {"num_samples": 64, "seed": 3}
+    assert restored.fingerprint == request.fingerprint
+
+
+def test_ndarray_options_survive_the_json_wire(small_api_problem):
+    import json
+
+    request = SynthesisRequest(
+        small_api_problem,
+        "rankhow",
+        {"node_limit": 50, "warm_start": np.array([0.5, 0.3, 0.2])},
+    )
+    wire = json.dumps(request.to_dict())  # must not raise
+    restored = SynthesisRequest.from_dict(json.loads(wire))
+    assert restored.fingerprint == request.fingerprint
+
+
+def test_fingerprint_covers_method_identity(small_api_problem):
+    problem = small_api_problem
+    assert (
+        SynthesisRequest(problem, "linear_regression").fingerprint
+        != SynthesisRequest(problem, "adarank").fingerprint
+    )
+    # Same method, spelled-out default: same cache entry.
+    assert (
+        SynthesisRequest(problem, "adarank").fingerprint
+        == SynthesisRequest(problem, "adarank", {"num_rounds": 20}).fingerprint
+    )
+
+
+def test_fingerprint_agrees_with_engine_requests(small_api_problem):
+    """Client-side requests and engine requests must share cache entries."""
+    problem = small_api_problem
+    options = {"num_samples": 32}
+    assert (
+        SynthesisRequest(problem, "sampling", options).fingerprint
+        == SolveRequest(problem, "sampling", options).fingerprint
+    )
+
+
+def test_options_dataclass_is_accepted_and_serialized(small_api_problem):
+    from repro.baselines.adarank import AdaRankOptions
+    from repro.baselines.sampling import SamplingOptions
+
+    request = SynthesisRequest(
+        small_api_problem, "adarank", AdaRankOptions(num_rounds=5)
+    )
+    assert request.options == {"num_rounds": 5, "allow_repeats": True}
+    assert request.effective["num_rounds"] == 5
+    # A full SamplingOptions dump carries chunk_size (not a wire key, and
+    # provably irrelevant to the result); the dataclass path strips it.
+    sampled = SynthesisRequest(
+        small_api_problem, "sampling", SamplingOptions(num_samples=16)
+    )
+    assert "chunk_size" not in sampled.options
+    assert sampled.effective["num_samples"] == 16
+    # An explicit wire dict with chunk_size is still rejected, loudly.
+    with pytest.raises(ValueError, match="chunk_size"):
+        SynthesisRequest(small_api_problem, "sampling", {"chunk_size": 5})
+
+
+def test_dataclass_options_for_name_fixed_methods(small_api_problem):
+    from repro.core.symgd import SymGDOptions
+    from repro.core.tree import TreeOptions
+
+    problem = small_api_problem
+    # A full SymGDOptions dump works when 'adaptive' agrees with the name...
+    request = SynthesisRequest(problem, "symgd", SymGDOptions(cell_size=0.05))
+    assert request.effective["cell_size"] == pytest.approx(0.05)
+    assert request.effective["adaptive"] is False
+    # ...and conflicts loudly (never silently) when it does not.
+    with pytest.raises(ValueError, match="symgd_adaptive"):
+        SynthesisRequest(problem, "symgd", SymGDOptions(adaptive=True))
+    with pytest.raises(ValueError, match="tree_naive"):
+        SynthesisRequest(
+            problem, "tree", TreeOptions(use_separation_gap=False)
+        )

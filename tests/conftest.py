@@ -31,6 +31,14 @@ def tiny_problem(tiny_relation: Relation) -> RankingProblem:
 
 
 @pytest.fixture
+def small_api_problem() -> RankingProblem:
+    """The small linear problem the api/engine/service tests solve repeatedly."""
+    relation = generate_uniform(30, 3, seed=1)
+    scores = relation.matrix() @ np.array([0.5, 0.3, 0.2])
+    return RankingProblem(relation, ranking_from_scores(scores, k=4))
+
+
+@pytest.fixture
 def linear_problem() -> RankingProblem:
     """A 40-tuple problem whose given ranking IS a linear function (error 0 possible)."""
     relation = generate_uniform(40, 4, seed=11)

@@ -97,7 +97,8 @@ def test_infeasible_constraints_reported():
 
 
 def test_never_worse_than_baselines_on_small_instances(nonlinear_problem):
-    from repro.baselines import LinearRegressionBaseline, OrdinalRegressionBaseline
+    from repro.baselines.linear_regression import LinearRegressionBaseline
+    from repro.baselines.ordinal_regression import OrdinalRegressionBaseline
 
     rankhow = RankHow(_FAST).solve(nonlinear_problem)
     for baseline in (LinearRegressionBaseline(), OrdinalRegressionBaseline()):
@@ -142,7 +143,8 @@ def test_warm_start_is_used_as_incumbent(nonlinear_problem):
 
 
 def test_solve_exact_convenience(linear_problem):
-    result = solve_exact(linear_problem, _FAST)
+    with pytest.warns(DeprecationWarning, match="solve_exact"):
+        result = solve_exact(linear_problem, _FAST)
     assert result.error == 0
 
 

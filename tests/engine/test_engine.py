@@ -163,3 +163,24 @@ def test_outcome_wire_format():
     json.dumps(wire)
     assert wire["fingerprint"] == outcome.fingerprint
     assert wire["result"]["method"] == outcome.result.method
+
+
+def test_build_solver_honors_rankhow_warm_start():
+    """warm_start is part of the resolved options; the built solver must use it."""
+    from repro.engine.tasks import build_solver
+
+    problem = build_problem()
+    warm = [0.4, 0.35, 0.25]
+    solve = build_solver(
+        "rankhow",
+        {
+            "node_limit": 0,
+            "verify": False,
+            "warm_start_strategy": "none",
+            "warm_start": warm,
+        },
+    )
+    result = solve(problem)
+    # With no nodes and no heuristic, the warm start is the only incumbent:
+    # the result can never be worse than it.
+    assert 0 <= result.error <= problem.error_of(np.asarray(warm))

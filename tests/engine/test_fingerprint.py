@@ -129,3 +129,35 @@ def test_fingerprint_stable_across_processes():
     )
     digests.add(in_process)
     assert len(digests) == 1, digests
+
+
+def test_options_class_is_part_of_the_digest():
+    """Two methods' options can serialize identically; the class must split them."""
+    from dataclasses import dataclass
+
+    @dataclass
+    class OptionsA:
+        node_limit: int = 100
+
+        def to_dict(self):
+            return {"node_limit": self.node_limit}
+
+    @dataclass
+    class OptionsB:
+        node_limit: int = 100
+
+        def to_dict(self):
+            return {"node_limit": self.node_limit}
+
+    assert fingerprint_options(OptionsA()) != fingerprint_options(OptionsB())
+    # An options object is also distinct from its bare wire dict: plain
+    # mappings rely on the method name for identity, objects carry their own.
+    assert fingerprint_options(OptionsA()) != fingerprint_options(
+        {"node_limit": 100}
+    )
+    # Real-world instance: RankHowOptions and TreeOptions share key names.
+    from repro.core.tree import TreeOptions
+
+    assert fingerprint_options(
+        RankHowOptions(node_limit=100, time_limit=1.0)
+    ) != fingerprint_options(TreeOptions(node_limit=100, time_limit=1.0))

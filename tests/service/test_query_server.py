@@ -178,3 +178,45 @@ def test_stats_shape_and_wire_format():
     import json
 
     json.dumps(wire)  # the whole response must be JSON-clean
+
+
+def test_any_registered_method_is_served_and_cached():
+    """The service front door serves baselines through the same cache path."""
+    problem = build_problem()
+
+    async def scenario():
+        async with QueryServer(
+            options=QueryServerOptions(batch_window=0.0)
+        ) as server:
+            first = await server.submit(problem, "linear_regression")
+            second = await server.submit(problem, "linear_regression")
+            other = await server.submit(problem, "adarank", {"num_rounds": 5})
+            return first, second, other
+
+    first, second, other = asyncio.run(scenario())
+    assert first.result.method == "linear_regression"
+    assert not first.cache_hit
+    assert second.cache_hit
+    assert other.result.method == "adarank"
+
+
+def test_allowed_methods_restricts_the_endpoint():
+    problem = build_problem()
+
+    async def scenario():
+        options = QueryServerOptions(
+            batch_window=0.0, allowed_methods=("symgd", "linear_regression")
+        )
+        async with QueryServer(options=options) as server:
+            response = await server.submit(problem, "linear_regression")
+            with pytest.raises(ValueError, match="not served"):
+                await server.submit(problem, "sampling")
+            return response
+
+    response = asyncio.run(scenario())
+    assert response.result.method == "linear_regression"
+
+
+def test_allowed_methods_typo_fails_at_construction():
+    with pytest.raises(ValueError, match="registered methods"):
+        QueryServer(options=QueryServerOptions(allowed_methods=("symgdd",)))

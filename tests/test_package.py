@@ -18,6 +18,13 @@ def test_version_and_public_api():
         assert hasattr(repro, name), f"repro.{name} missing"
 
 
+def test_list_methods_smoke():
+    """The CI smoke step: the registry is reachable from the top level."""
+    names = repro.list_methods()
+    assert "rankhow" in names and "symgd" in names and "sampling" in names
+    assert set(repro.method_capabilities()) == set(names)
+
+
 @pytest.mark.parametrize(
     "module",
     [
@@ -29,6 +36,7 @@ def test_version_and_public_api():
         "repro.bench.experiments",
         "repro.engine",
         "repro.service",
+        "repro.api",
     ],
 )
 def test_submodules_importable(module):
