@@ -30,6 +30,11 @@ Sub-packages:
 * :mod:`repro.api` -- the method registry and the :class:`RankHowClient`
   facade: every solver and baseline behind one cached, serializable
   interface (``repro.list_methods()`` names them all).
+* :mod:`repro.scenarios` -- the seeded workload generator: adversarial
+  scenario families (ties, duplicates, tolerance boundaries, ...) plus a
+  ``mutate()`` API, addressable through the request wire format.
+* :mod:`repro.testing` -- the differential / metamorphic oracle that
+  cross-checks every registered method on generated scenarios.
 
 The api, engine, and service layers are exported lazily
 (``repro.RankHowClient``, ``repro.SolveEngine``, ``repro.QueryServer``) so
@@ -100,6 +105,11 @@ __all__ = [
     "get_method",
     "list_methods",
     "method_capabilities",
+    "Scenario",
+    "generate_scenarios",
+    "scenario_families",
+    "DifferentialOracle",
+    "OracleReport",
     "__version__",
 ]
 
@@ -117,6 +127,11 @@ _LAZY_EXPORTS = {
     "get_method": ("repro.api", "get_method"),
     "list_methods": ("repro.api", "list_methods"),
     "method_capabilities": ("repro.api", "method_capabilities"),
+    "Scenario": ("repro.scenarios", "Scenario"),
+    "generate_scenarios": ("repro.scenarios", "generate"),
+    "scenario_families": ("repro.scenarios", "list_families"),
+    "DifferentialOracle": ("repro.testing", "DifferentialOracle"),
+    "OracleReport": ("repro.testing", "OracleReport"),
 }
 
 

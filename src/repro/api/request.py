@@ -87,8 +87,46 @@ class SynthesisRequest:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SynthesisRequest":
+        """Rebuild a request from its wire format.
+
+        The problem may arrive either inline (``"problem"``: the full
+        ``RankingProblem.to_dict`` payload) or by address (``"scenario"``:
+        a ``{"family", "index", "seed"}`` spec expanded through
+        :func:`repro.scenarios.scenario_from_spec`), so a client can ask the
+        query service to solve generated workloads by name without shipping
+        the attribute matrix.
+        """
+        if "problem" in data:
+            problem = RankingProblem.from_dict(data["problem"])
+        elif "scenario" in data:
+            # Imported lazily: repro.scenarios is a sibling leaf; importing
+            # it at module scope would load the whole generator for callers
+            # that only ever send inline problems.
+            from repro.scenarios import scenario_from_spec
+
+            problem = scenario_from_spec(data["scenario"]).problem
+        else:
+            raise KeyError("request dict needs a 'problem' or a 'scenario' entry")
         return cls(
-            problem=RankingProblem.from_dict(data["problem"]),
+            problem=problem,
             method=data.get("method", "symgd"),
             options=dict(data.get("options") or {}),
+        )
+
+    @classmethod
+    def from_scenario(
+        cls,
+        family: str,
+        index: int = 0,
+        seed: int = 0,
+        method: str = "symgd",
+        options: dict | None = None,
+    ) -> "SynthesisRequest":
+        """A request over a generated workload, addressed by family/index/seed."""
+        from repro.scenarios import generate_one
+
+        return cls(
+            problem=generate_one(family, index, seed).problem,
+            method=method,
+            options=dict(options or {}),
         )

@@ -48,6 +48,7 @@ __all__ = [
     "experiment_fig3jkl_scalability",
     "experiment_fig3mno_derived",
     "experiment_engine_throughput",
+    "experiment_scenarios",
 ]
 
 #: Methods compared in the exact-OPT figures (AdaRank is added for CSRankings,
@@ -657,6 +658,52 @@ def experiment_engine_throughput(
                         },
                     )
                 )
+    return records
+
+
+# -- E12: generated adversarial scenarios -------------------------------------------
+
+
+def experiment_scenarios(
+    families: Sequence[str] | None = None,
+    seed: int = 20260730,
+    per_family: int = 1,
+    methods: Sequence[str] = ("symgd", "ordinal_regression", "sampling"),
+    budget: MethodBudget | None = None,
+) -> list[ExperimentRecord]:
+    """The ``scenario`` experiment source (not a figure of the paper).
+
+    Runs the given methods over the :mod:`repro.scenarios` workload
+    generator's adversarial families -- tie groups, duplicate tuples,
+    degenerate corners, tolerance boundaries, heavy tails, large-k, wide-m,
+    constrained instances -- producing one record per (scenario, method).
+    Everything is keyed by the master ``seed``, so a record set is
+    reproducible byte-for-byte; the benchmark wrapper asserts exactly that,
+    plus basic lawfulness of every error (the full invariant battery lives
+    in ``tests/scenarios``).
+    """
+    from repro.scenarios import generate
+
+    budget = budget or MethodBudget(time_limit=3.0, node_limit=60, samples=200)
+    records = []
+    for scenario in generate(families, seed=seed, per_family=per_family):
+        problem = scenario.problem
+        for method in methods:
+            result = run_method(method, problem, budget)
+            records.append(
+                _record(
+                    "scenario",
+                    scenario.family,
+                    method,
+                    {
+                        "scenario": scenario.name,
+                        "n": problem.num_tuples,
+                        "m": problem.num_attributes,
+                        "k": problem.k,
+                    },
+                    result,
+                )
+            )
     return records
 
 

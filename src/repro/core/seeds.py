@@ -12,6 +12,11 @@ Two strategies from the paper plus a neutral fallback:
   cell.
 * ``uniform`` -- the center of the simplex (equal weights); useful as a
   constraint-free, deterministic fallback and for ablations.
+* ``dirichlet`` -- a random point of the simplex from an explicit seed (an
+  int or a shared ``np.random.Generator``, see :mod:`repro.data.rng`); used
+  by multi-restart sweeps and the scenario workload generator, which thread
+  one generator through every draw so identical master seeds reproduce
+  byte-identically.
 """
 
 from __future__ import annotations
@@ -22,12 +27,14 @@ import numpy as np
 
 from repro.core.cells import cell_error_bounds_many, grid_cells
 from repro.core.problem import RankingProblem
+from repro.data.rng import as_generator
 
 __all__ = [
     "uniform_seed",
     "linear_regression_seed",
     "ordinal_regression_seed",
     "grid_seed",
+    "dirichlet_seed",
     "get_seed_strategy",
 ]
 
@@ -77,6 +84,24 @@ def grid_seed(
     return _sanitize(cells[best_index].center, problem)
 
 
+def dirichlet_seed(
+    problem: RankingProblem,
+    seed=0,
+    concentration: float = 1.0,
+) -> np.ndarray:
+    """A random simplex point from an explicit seed (int or shared Generator).
+
+    Drawing from a passed-in ``np.random.Generator`` advances the caller's
+    stream, so a pipeline that threads one generator through many seeds gets
+    distinct, fully seed-determined points with no module-level RNG state.
+    """
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    rng = as_generator(seed)
+    draw = rng.dirichlet(np.full(problem.num_attributes, float(concentration)))
+    return _sanitize(draw, problem)
+
+
 def _sanitize(weights: np.ndarray, problem: RankingProblem) -> np.ndarray:
     """Project a candidate seed onto the simplex; fall back to uniform."""
     weights = np.asarray(weights, dtype=float).ravel()
@@ -106,4 +131,6 @@ def get_seed_strategy(name: str, **kwargs) -> SeedStrategy:
         return ordinal_regression_seed
     if name == "grid":
         return lambda problem: grid_seed(problem, **kwargs)
+    if name == "dirichlet":
+        return lambda problem: dirichlet_seed(problem, **kwargs)
     raise ValueError(f"unknown seed strategy {name!r}")

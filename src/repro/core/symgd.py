@@ -27,6 +27,7 @@ from repro.core.problem import RankingProblem
 from repro.core.rankhow import RankHow, RankHowOptions
 from repro.core.result import SynthesisResult
 from repro.core.seeds import get_seed_strategy
+from repro.data.rng import as_generator
 
 __all__ = ["SymGDOptions", "SymGD", "default_seed_points"]
 
@@ -299,13 +300,17 @@ def default_seed_points(
     problem: RankingProblem,
     num_seeds: int,
     base_strategy: str = "ordinal_regression",
+    rng=None,
 ) -> list[np.ndarray]:
     """Deterministic, diverse seed points for :meth:`SymGD.solve_multi_seed`.
 
     The list starts with the configured strategy's seed and the simplex
     center, continues with the single-attribute corners, and tops up with
     Dirichlet draws from a fixed-seed generator, so the same problem always
-    gets the same seed set regardless of executor backend.
+    gets the same seed set regardless of executor backend.  Pass ``rng`` (an
+    int seed or a shared ``np.random.Generator``, see :mod:`repro.data.rng`)
+    to control the top-up draws explicitly; the default keeps the historical
+    ``default_rng(num_seeds)`` stream bit-for-bit.
     """
     if num_seeds < 1:
         raise ValueError("num_seeds must be >= 1")
@@ -317,7 +322,7 @@ def default_seed_points(
         pass
     candidates.append(np.full(m, 1.0 / m))
     candidates.extend(np.eye(m))
-    rng = np.random.default_rng(num_seeds)
+    rng = as_generator(num_seeds if rng is None else rng)
     while len(candidates) < num_seeds:
         candidates.append(rng.dirichlet(np.ones(m)))
 

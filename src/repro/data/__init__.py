@@ -13,9 +13,11 @@ from repro.data.rankings import (
     ranking_from_scoring_function,
     top_k_positions,
 )
+from repro.data.rng import as_generator, derive_rng
 from repro.data.synthetic import (
     generate_anticorrelated,
     generate_correlated,
+    generate_heavy_tail,
     generate_synthetic,
     generate_uniform,
 )
@@ -37,9 +39,12 @@ __all__ = [
     "ranking_from_scores",
     "ranking_from_scoring_function",
     "top_k_positions",
+    "as_generator",
+    "derive_rng",
     "generate_uniform",
     "generate_correlated",
     "generate_anticorrelated",
+    "generate_heavy_tail",
     "generate_synthetic",
     "NBA_RANKING_ATTRIBUTES",
     "generate_nba_dataset",

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.ranking import Ranking
 from repro.data.rankings import ranking_from_scores
 from repro.data.relation import Relation
+from repro.data.rng import as_generator
 
 __all__ = [
     "CSRANKINGS_AREAS",
@@ -58,7 +59,7 @@ CSRANKINGS_AREAS: list[str] = [
 
 def generate_csrankings_dataset(
     num_institutions: int = 628,
-    seed: int = 23,
+    seed=23,
 ) -> Relation:
     """Generate a synthetic institution x area publication-count matrix.
 
@@ -70,7 +71,7 @@ def generate_csrankings_dataset(
         A :class:`Relation` with an ``institution`` key column and one
         adjusted-count column per area in :data:`CSRANKINGS_AREAS`.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     num_areas = len(CSRANKINGS_AREAS)
 
     # Area "size": AI/vision/ML publish an order of magnitude more than

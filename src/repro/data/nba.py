@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.ranking import Ranking
 from repro.data.rankings import ranking_from_scores, top_k_positions
 from repro.data.relation import Relation
+from repro.data.rng import as_generator
 
 __all__ = [
     "NBA_RANKING_ATTRIBUTES",
@@ -82,7 +83,7 @@ _ROLE_PROFILES: dict[str, _RoleProfile] = {
 
 def generate_nba_dataset(
     num_players: int = 2000,
-    seed: int = 7,
+    seed=7,
 ) -> Relation:
     """Generate a synthetic NBA player-season relation.
 
@@ -95,7 +96,7 @@ def generate_nba_dataset(
         ranking attributes, and the auxiliary ``MP`` / ``TOV`` / ``GP``
         columns used by the PER formula.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     roles = rng.choice(len(_ROLES), size=num_players, p=[0.38, 0.34, 0.28])
     # Latent overall quality, skewed so that stars are rare.
     quality = rng.beta(2.0, 5.0, size=num_players)
@@ -187,7 +188,7 @@ def mvp_panel_ranking(
     num_voters: int = 100,
     num_candidates: int = 13,
     perception_noise: float = 0.08,
-    seed: int = 11,
+    seed=11,
 ) -> MVPVote:
     """Simulate the MVP voting protocol of Example 1.
 
@@ -203,7 +204,7 @@ def mvp_panel_ranking(
         ``num_candidates`` by top perceived value), matching how the paper's
         case study restricts the relation to players with votes.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     value = relation.column("MP").astype(float) * per_scores(relation)
     # Panelists only seriously consider a shortlist of elite players.
     shortlist_size = max(num_candidates * 2, 20)

@@ -1,0 +1,88 @@
+"""One seeding convention for every random-data producer in the package.
+
+Every generator in :mod:`repro.data` (and the seed-point machinery in
+:mod:`repro.core`) historically took an ``int`` seed and built its own
+``np.random.default_rng(seed)``.  That convention is deterministic per call,
+but it makes *composed* generation awkward: a workload generator that builds
+several relations from one master seed either hands out the same integer
+twice (byte-identical "different" problems) or invents ad-hoc seed
+arithmetic that silently collides.
+
+The helpers here fix the convention:
+
+* :func:`as_generator` -- accept ``int | sequence | Generator | None``
+  everywhere a ``seed`` parameter exists.  Passing a ``Generator`` threads
+  ONE stream through a whole pipeline (each draw advances the shared state,
+  so successive calls produce distinct but fully seed-determined data);
+  passing an int keeps the historical per-call behaviour bit-for-bit.
+* :func:`derive_rng` -- a collision-free child stream for a (seed, *keys)
+  path, e.g. one independent stream per (master seed, scenario family,
+  instance index) without manual seed arithmetic.
+
+Nothing in this module ever touches NumPy's module-level RNG state, so test
+order cannot leak randomness between tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_generator", "derive_rng", "stable_key"]
+
+#: Anything accepted where a seed is expected: an integer (historical
+#: convention), a sequence of integers, ``None`` (OS entropy), or an
+#: already-constructed ``np.random.Generator`` (threaded through unchanged).
+SeedLike = "int | list[int] | np.random.Generator | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Resolve any :data:`SeedLike` value into a ``np.random.Generator``.
+
+    A ``Generator`` passes through *unchanged* (not copied): drawing from the
+    result advances the caller's stream, which is exactly what threading one
+    seed through a multi-stage pipeline requires.  Every other value is fed
+    to ``np.random.default_rng``, preserving the historical per-call
+    behaviour of ``seed: int`` parameters bit-for-bit.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def stable_key(label: str) -> int:
+    """A stable 32-bit integer for a string label (process-independent).
+
+    Python's builtin ``hash`` is randomized per process (``PYTHONHASHSEED``),
+    so it cannot key an RNG stream that must reproduce across runs; a SHA-256
+    prefix can.
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def derive_rng(seed, *keys) -> np.random.Generator:
+    """An independent child stream for a (seed, *keys) derivation path.
+
+    ``derive_rng(master, "tied_scores", 3)`` and
+    ``derive_rng(master, "tied_scores", 4)`` are distinct, reproducible
+    streams; string keys are hashed with :func:`stable_key` so the mapping
+    does not depend on registration order or the process hash seed.  When
+    ``seed`` is already a ``Generator`` the child is spawned from it (the
+    parent stream advances), keeping the single-generator threading model.
+    """
+    material = [stable_key(key) if isinstance(key, str) else int(key) for key in keys]
+    if isinstance(seed, np.random.Generator):
+        # Deterministically derive from the parent's stream rather than its
+        # (inaccessible) seed: one draw advances the parent, and the drawn
+        # word plus the key path seeds the child.
+        parent_word = int(seed.integers(0, 2**32))
+        return np.random.default_rng([parent_word, *material])
+    if seed is None:
+        # Honour the SeedLike contract: None means OS entropy (matching
+        # as_generator), not a silent fixed seed.
+        base = [int(np.random.SeedSequence().generate_state(1)[0])]
+    else:
+        base = [int(seed)]
+    return np.random.default_rng([*base, *material])

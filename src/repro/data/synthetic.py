@@ -9,8 +9,14 @@ the classic skyline-benchmark recipe of Borzsonyi, Kossmann and Stocker
   all of them (shared latent quality plus small noise).
 * **anti-correlated** -- a tuple that is good in one half of the attributes
   tends to be bad in the other half.
+* **heavy-tail** -- log-normal attribute values min-max squashed into
+  [0, 1]: most mass near zero with a few dominant outliers, the adversarial
+  regime for tie tolerances calibrated on uniform data.
 
 All generators take an explicit seed so every experiment is reproducible.
+``seed`` may be an ``int`` (historical per-call behaviour) or a shared
+``np.random.Generator`` threaded through several generators (see
+:mod:`repro.data.rng`) -- identical seeds yield byte-identical relations.
 """
 
 from __future__ import annotations
@@ -18,11 +24,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.relation import Relation
+from repro.data.rng import as_generator
 
 __all__ = [
     "generate_uniform",
     "generate_correlated",
     "generate_anticorrelated",
+    "generate_heavy_tail",
     "generate_synthetic",
 ]
 
@@ -32,10 +40,10 @@ def _attribute_names(num_attributes: int) -> list[str]:
 
 
 def generate_uniform(
-    num_tuples: int, num_attributes: int, seed: int = 0
+    num_tuples: int, num_attributes: int, seed=0
 ) -> Relation:
     """Independent uniform attributes in ``[0, 1]``."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     matrix = rng.uniform(0.0, 1.0, size=(num_tuples, num_attributes))
     return Relation.from_matrix(matrix, _attribute_names(num_attributes))
 
@@ -43,7 +51,7 @@ def generate_uniform(
 def generate_correlated(
     num_tuples: int,
     num_attributes: int,
-    seed: int = 0,
+    seed=0,
     correlation: float = 0.85,
 ) -> Relation:
     """Positively correlated attributes.
@@ -53,7 +61,7 @@ def generate_correlated(
     """
     if not 0.0 <= correlation <= 1.0:
         raise ValueError("correlation must lie in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     quality = rng.uniform(0.0, 1.0, size=(num_tuples, 1))
     noise = rng.uniform(0.0, 1.0, size=(num_tuples, num_attributes))
     matrix = correlation * quality + (1.0 - correlation) * noise
@@ -65,7 +73,7 @@ def generate_correlated(
 def generate_anticorrelated(
     num_tuples: int,
     num_attributes: int,
-    seed: int = 0,
+    seed=0,
     strength: float = 0.85,
 ) -> Relation:
     """Anti-correlated attributes.
@@ -77,7 +85,7 @@ def generate_anticorrelated(
     """
     if not 0.0 <= strength <= 1.0:
         raise ValueError("strength must lie in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     quality = rng.uniform(0.0, 1.0, size=(num_tuples, 1))
     noise = rng.uniform(0.0, 1.0, size=(num_tuples, num_attributes))
     half = num_attributes // 2
@@ -90,18 +98,43 @@ def generate_anticorrelated(
     )
 
 
+def generate_heavy_tail(
+    num_tuples: int,
+    num_attributes: int,
+    seed=0,
+    sigma: float = 1.2,
+) -> Relation:
+    """Heavy-tailed attributes squashed into ``[0, 1]``.
+
+    Each attribute is log-normal (``sigma`` controls tail weight) and then
+    min-max scaled per column, so a handful of outliers sit near 1 while the
+    bulk of the values crowd near 0 -- score gaps spanning several orders of
+    magnitude, which stresses fixed tie tolerances.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    rng = as_generator(seed)
+    matrix = rng.lognormal(mean=0.0, sigma=sigma, size=(num_tuples, num_attributes))
+    low = matrix.min(axis=0, keepdims=True)
+    span = matrix.max(axis=0, keepdims=True) - low
+    span[span <= 0] = 1.0
+    return Relation.from_matrix((matrix - low) / span, _attribute_names(num_attributes))
+
+
 def generate_synthetic(
     distribution: str,
     num_tuples: int,
     num_attributes: int,
-    seed: int = 0,
+    seed=0,
 ) -> Relation:
-    """Dispatch on distribution name ("uniform", "correlated", "anticorrelated")."""
+    """Dispatch on distribution name ("uniform", "correlated", "anticorrelated", "heavy_tail")."""
     generators = {
         "uniform": generate_uniform,
         "correlated": generate_correlated,
         "anticorrelated": generate_anticorrelated,
         "anti-correlated": generate_anticorrelated,
+        "heavy_tail": generate_heavy_tail,
+        "heavy-tail": generate_heavy_tail,
     }
     if distribution not in generators:
         raise ValueError(

@@ -1,0 +1,56 @@
+"""Seeded, composable workload generator for adversarial ranking scenarios.
+
+The ROADMAP's north star asks for "as many scenarios as you can imagine";
+this package makes that executable.  It generates
+:class:`~repro.core.problem.RankingProblem` instances from named adversarial
+families -- tie groups, duplicate tuples, degenerate k/m corners, tolerance
+boundaries, rank-reversal pairs, heavy-tailed value distributions, large-k
+and wide-m sweeps, constrained problems -- plus a :func:`mutate` API that
+perturbs any problem.  Everything is keyed by ``(master seed, family,
+index)`` child RNG streams (:mod:`repro.data.rng`), so identical seeds
+reproduce byte-identically no matter which subset runs, in which order.
+
+Consumers:
+
+* ``tests/scenarios`` -- the differential/metamorphic suites built on
+  :mod:`repro.testing`;
+* :func:`repro.bench.experiments.experiment_scenarios` -- the ``scenario``
+  experiment source of the bench harness;
+* the query service -- ``SynthesisRequest.from_dict`` accepts a
+  ``{"scenario": {...}}`` spec (see :func:`scenario_from_spec`), so clients
+  can request generated workloads by name instead of shipping matrices.
+"""
+
+from repro.scenarios.families import (
+    FAMILIES,
+    ScenarioFamily,
+    list_families,
+    scenario_family,
+)
+from repro.scenarios.generator import (
+    MUTATION_KINDS,
+    Scenario,
+    generate,
+    generate_one,
+    mutate,
+    permute_tuples,
+    rescale_problem,
+    scenario_from_spec,
+    scenario_problem,
+)
+
+__all__ = [
+    "FAMILIES",
+    "ScenarioFamily",
+    "list_families",
+    "scenario_family",
+    "MUTATION_KINDS",
+    "Scenario",
+    "generate",
+    "generate_one",
+    "mutate",
+    "permute_tuples",
+    "rescale_problem",
+    "scenario_from_spec",
+    "scenario_problem",
+]

@@ -1,0 +1,260 @@
+"""Named adversarial scenario families for the workload generator.
+
+Each family is a seeded builder that turns a ``np.random.Generator`` plus an
+instance index into one :class:`~repro.core.problem.RankingProblem` and a
+metadata dict describing what makes the instance adversarial (tie structure,
+a known zero-error weight vector, a fragile tuple pair, ...).  The builders
+deliberately produce *small* problems: the differential oracle runs every
+registered method on every instance, so a family earns its place by the
+structure it probes, not by its size.
+
+Adding a family is one function::
+
+    @scenario_family("my_family", "what it stresses")
+    def _my_family(rng, index):
+        ...build a RankingProblem...
+        return problem, {"whatever": "the oracle should know"}
+
+The registry is consumed by :mod:`repro.scenarios.generator`, the
+``tests/scenarios`` differential suites, the ``scenario`` experiment source
+in :mod:`repro.bench.experiments`, and the query-service wire format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constraints import (
+    ConstraintSet,
+    PrecedenceConstraint,
+    group_weight_bound,
+    min_weight,
+)
+from repro.core.problem import RankingProblem, ToleranceSettings
+from repro.core.ranking import UNRANKED, Ranking
+from repro.data.rankings import ranking_from_scores
+from repro.data.relation import Relation
+from repro.data.synthetic import generate_heavy_tail, generate_uniform
+
+__all__ = ["ScenarioFamily", "FAMILIES", "scenario_family", "list_families"]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One registered family: a name, a one-line description, and a builder."""
+
+    name: str
+    description: str
+    build: Callable[[np.random.Generator, int], tuple[RankingProblem, dict]]
+
+
+#: Name -> family, in registration order (the canonical family listing).
+FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def scenario_family(name: str, description: str):
+    """Decorator registering a builder under ``name`` (duplicates are an error)."""
+
+    def decorator(build):
+        if name in FAMILIES:
+            raise ValueError(f"scenario family {name!r} is already registered")
+        FAMILIES[name] = ScenarioFamily(name, description, build)
+        return build
+
+    return decorator
+
+
+def list_families() -> tuple:
+    """Registered family names, in registration order."""
+    return tuple(FAMILIES)
+
+
+# -- shared helpers -----------------------------------------------------------------
+
+
+def _hidden_weights(rng: np.random.Generator, m: int) -> np.ndarray:
+    """A strictly positive, normalized hidden weight vector."""
+    w = rng.dirichlet(np.full(m, 2.0))
+    w = np.clip(w, 0.05, None)
+    return w / w.sum()
+
+
+def _linear_problem(
+    relation: Relation,
+    hidden: np.ndarray,
+    k: int,
+    tolerances: ToleranceSettings | None = None,
+    constraints: ConstraintSet | None = None,
+) -> tuple[RankingProblem, np.ndarray]:
+    """A problem whose given ranking IS a linear function (zero error exists)."""
+    scores = relation.matrix() @ hidden
+    ranking = ranking_from_scores(scores, k=k)
+    problem = RankingProblem(
+        relation, ranking, constraints=constraints, tolerances=tolerances
+    )
+    return problem, scores
+
+
+# -- the families -------------------------------------------------------------------
+
+
+@scenario_family("tied_scores", "given ranking with tie groups at and below the top")
+def _tied_scores(rng: np.random.Generator, index: int):
+    n, m, k = 24 + 4 * index, 3, 5
+    relation = generate_uniform(n, m, seed=rng)
+    scores = relation.matrix() @ _hidden_weights(rng, m)
+    order = np.argsort(-scores)
+    positions = np.full(n, UNRANKED, dtype=int)
+    # Competition ranks 1, 1, 3, 4, 4: a tie at the very top and one below.
+    for tuple_index, position in zip(order[:k], (1, 1, 3, 4, 4)):
+        positions[tuple_index] = position
+    problem = RankingProblem(relation, Ranking(positions))
+    if not problem.ranking.has_ties():  # pragma: no cover - generator self-check
+        raise RuntimeError("tied_scores generated a tie-free ranking")
+    return problem, {"tie_groups": len(problem.ranking.tie_groups())}
+
+
+@scenario_family("duplicate_tuples", "byte-identical tuples that must tie exactly")
+def _duplicate_tuples(rng: np.random.Generator, index: int):
+    base = 12 + 2 * index
+    m = 3
+    half = generate_uniform(base, m, seed=rng).matrix()
+    relation = Relation.from_matrix(np.vstack([half, half]))
+    hidden = _hidden_weights(rng, m)
+    scores = relation.matrix() @ hidden
+    # Every score occurs (at least) twice, so the given top-k necessarily
+    # contains exact ties under any tie tolerance.
+    ranking = ranking_from_scores(scores, k=6)
+    problem = RankingProblem(relation, ranking)
+    return problem, {
+        "duplicate_pairs": base,
+        "zero_error_weights": [float(w) for w in hidden],
+    }
+
+
+@scenario_family("degenerate", "k=1 / full-ranking / single-attribute corner cases")
+def _degenerate(rng: np.random.Generator, index: int):
+    variant = ("single_ranked", "full_ranking", "single_attribute")[index % 3]
+    if variant == "single_ranked":
+        relation = generate_uniform(10, 2, seed=rng)
+        hidden = _hidden_weights(rng, 2)
+        problem, _ = _linear_problem(relation, hidden, k=1)
+        meta = {"zero_error_weights": [float(w) for w in hidden]}
+    elif variant == "full_ranking":
+        relation = generate_uniform(8, 3, seed=rng)
+        hidden = _hidden_weights(rng, 3)
+        problem, _ = _linear_problem(relation, hidden, k=8)
+        meta = {"zero_error_weights": [float(w) for w in hidden]}
+    else:
+        # m = 1: the weight simplex degenerates to the single point w = [1].
+        relation = generate_uniform(12, 1, seed=rng)
+        problem, _ = _linear_problem(relation, np.array([1.0]), k=4)
+        meta = {"zero_error_weights": [1.0], "simplex_is_point": True}
+    return problem, {"variant": variant, **meta}
+
+
+@scenario_family("tolerance_boundary", "score gaps sitting exactly on eps / eps1")
+def _tolerance_boundary(rng: np.random.Generator, index: int):
+    n, k = 16, 6
+    tolerances = ToleranceSettings(tie_eps=1e-3, eps1=2e-3, eps2=0.0)
+    # A1 descends from 0.9 with consecutive gaps alternating between exactly
+    # tie_eps (tied under the tolerance) and 4*eps1 (clearly separated), so
+    # every indicator sits on or near a decision boundary.
+    gaps = np.where(np.arange(n - 1) % 2 == 0, tolerances.tie_eps, 4 * tolerances.eps1)
+    a1 = 0.9 - np.concatenate([[0.0], np.cumsum(gaps)])
+    a2 = rng.uniform(0.0, 1.0, size=n)
+    relation = Relation.from_matrix(np.column_stack([a1, a2]), ["A1", "A2"])
+    scores = a1  # hidden function = A1 alone
+    ranking = ranking_from_scores(scores, k=k, tie_eps=tolerances.tie_eps)
+    problem = RankingProblem(relation, ranking, tolerances=tolerances)
+    return problem, {
+        "zero_error_weights": [1.0, 0.0],
+        "boundary_gaps": int(np.sum(gaps == tolerances.tie_eps)),
+    }
+
+
+@scenario_family("near_infeasible_tolerance", "eps1 barely above eps2 (Table III's minus regime)")
+def _near_infeasible_tolerance(rng: np.random.Generator, index: int):
+    relation = generate_uniform(16, 3, seed=rng)
+    hidden = _hidden_weights(rng, 3)
+    # The paper's "numerics ignored" setting: the separation band between
+    # "indicator must be 1" and "may be 0" collapses to ~1e-12.
+    tolerances = ToleranceSettings.from_precision(tie_eps=5e-6, tau=0.0)
+    problem, _ = _linear_problem(relation, hidden, k=4, tolerances=tolerances)
+    return problem, {
+        "zero_error_weights": [float(w) for w in hidden],
+        "separation_band": float(tolerances.eps1 - tolerances.eps2),
+    }
+
+
+@scenario_family("rank_reversal", "a near-tied anti-correlated pair that swaps under perturbation")
+def _rank_reversal(rng: np.random.Generator, index: int):
+    n, m, k = 20, 2, 4
+    delta = 2e-3
+    matrix = generate_uniform(n, m, seed=rng).matrix() * 0.5  # keep the pack below
+    # Two near-identical elite tuples with opposite profiles: under equal
+    # weights they differ by ~0, and any weight shift flips their order.
+    matrix[0] = (0.9 + delta, 0.7)
+    matrix[1] = (0.9, 0.7 + delta)
+    relation = Relation.from_matrix(matrix)
+    hidden = np.array([0.55, 0.45])
+    problem, _ = _linear_problem(relation, hidden, k=k)
+    return problem, {"fragile_pair": [0, 1], "delta": delta}
+
+
+@scenario_family("heavy_tail", "log-normal attributes: a few outliers dominate the scale")
+def _heavy_tail(rng: np.random.Generator, index: int):
+    n, m, k = 30 + 5 * index, 4, 5
+    relation = generate_heavy_tail(n, m, seed=rng)
+    scores = np.sum(relation.matrix() ** 2, axis=1)  # hidden non-linear function
+    ranking = ranking_from_scores(scores, k=k)
+    problem = RankingProblem(relation, ranking)
+    return problem, {"hidden_function": "sum_sq"}
+
+
+@scenario_family("large_k", "ranked prefix covering most of the relation")
+def _large_k(rng: np.random.Generator, index: int):
+    n, m = 30, 3
+    k = 18 + 2 * (index % 2)
+    relation = generate_uniform(n, m, seed=rng)
+    hidden = _hidden_weights(rng, m)
+    problem, _ = _linear_problem(relation, hidden, k=k)
+    return problem, {"zero_error_weights": [float(w) for w in hidden], "k_over_n": k / n}
+
+
+@scenario_family("wide", "many attributes over few tuples (m close to n's order)")
+def _wide(rng: np.random.Generator, index: int):
+    n, k = 24, 3
+    m = 6 + 2 * (index % 2)
+    relation = generate_uniform(n, m, seed=rng)
+    hidden = _hidden_weights(rng, m)
+    problem, _ = _linear_problem(relation, hidden, k=k)
+    return problem, {"zero_error_weights": [float(w) for w in hidden]}
+
+
+@scenario_family("constrained", "weight bounds, a group cap, and a precedence constraint")
+def _constrained(rng: np.random.Generator, index: int):
+    n, m, k = 24, 3, 5
+    relation = generate_uniform(n, m, seed=rng)
+    hidden = np.array([0.5, 0.3, 0.2])
+    scores = relation.matrix() @ hidden
+    ranking = ranking_from_scores(scores, k=k)
+    top = np.argsort(-scores)[:2]
+    constraints = ConstraintSet(
+        weight_constraints=[
+            min_weight("A1", 0.2),
+            group_weight_bound(["A2", "A3"], "<=", 0.8),
+        ],
+        precedence_constraints=[
+            PrecedenceConstraint(above=int(top[0]), below=int(top[1]))
+        ],
+    )
+    problem = RankingProblem(relation, ranking, constraints=constraints)
+    # The hidden weights must satisfy every constraint (error 0 stays
+    # feasible); raise rather than assert so python -O cannot strip the check.
+    if not problem.weights_feasible(hidden):  # pragma: no cover - self-check
+        raise RuntimeError("constrained family's hidden weights are infeasible")
+    return problem, {"zero_error_weights": [float(w) for w in hidden]}

@@ -1,0 +1,331 @@
+"""Seeded scenario generation, mutation, and the scenario wire format.
+
+:func:`generate` turns ``(master seed, family names, instances per family)``
+into a deterministic list of :class:`Scenario` objects: each instance draws
+from its own :func:`repro.data.rng.derive_rng` child stream keyed by
+``(seed, family, index)``, so identical seeds reproduce byte-identically,
+families can be generated in any order or subset without perturbing each
+other, and a new family never shifts an existing one's data.
+
+A scenario is addressable without shipping its matrix: :attr:`Scenario.spec`
+is a tiny JSON dict (family / index / seed) that :func:`scenario_from_spec`
+expands back into the identical problem.  The query service and the
+:class:`~repro.api.request.SynthesisRequest` wire format accept that spec, so
+a client can ask the server to solve generated workloads by name.
+
+:func:`mutate` perturbs any existing problem (jitter, tuple permutation,
+attribute rescaling, dropping unranked tuples, tightening tolerances); the
+pure transforms it composes (:func:`permute_tuples`, :func:`rescale_problem`)
+are also what the metamorphic invariants in :mod:`repro.testing` replay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.constraints import (
+    ConstraintSet,
+    PositionRangeConstraint,
+    PrecedenceConstraint,
+)
+from repro.core.problem import RankingProblem, ToleranceSettings
+from repro.core.ranking import Ranking
+from repro.data.relation import Relation
+from repro.data.rng import as_generator, derive_rng
+from repro.scenarios.families import FAMILIES, list_families
+
+__all__ = [
+    "Scenario",
+    "generate",
+    "generate_one",
+    "scenario_from_spec",
+    "scenario_problem",
+    "mutate",
+    "MUTATION_KINDS",
+    "permute_tuples",
+    "rescale_problem",
+]
+
+
+@dataclass
+class Scenario:
+    """One generated workload instance.
+
+    Attributes:
+        family: Name of the :class:`~repro.scenarios.families.ScenarioFamily`.
+        index: Instance index within the family (varies sizes/variants).
+        seed: The master seed the instance was derived from.
+        problem: The generated problem.
+        metadata: Family-specific facts the oracle can exploit (e.g.
+            ``zero_error_weights`` when an exact fit is known to exist).
+    """
+
+    family: str
+    index: int
+    seed: int
+    problem: RankingProblem
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Stable display / parametrization id, e.g. ``tied_scores[0]@s7``."""
+        return f"{self.family}[{self.index}]@s{self.seed}"
+
+    @property
+    def spec(self) -> dict:
+        """The compact wire address that regenerates this exact scenario."""
+        return {"family": self.family, "index": int(self.index), "seed": int(self.seed)}
+
+    def request(self, method: str = "symgd", options: dict | None = None):
+        """A :class:`~repro.api.request.SynthesisRequest` for this problem."""
+        # Imported lazily: scenarios is a leaf the api layer may itself
+        # import (for the scenario wire format), so the reverse import has
+        # to stay out of module scope.
+        from repro.api.request import SynthesisRequest
+
+        return SynthesisRequest(self.problem, method, dict(options or {}))
+
+    def __repr__(self) -> str:
+        p = self.problem
+        return (
+            f"Scenario({self.name}, n={p.num_tuples}, m={p.num_attributes}, "
+            f"k={p.k})"
+        )
+
+
+def generate_one(family: str, index: int = 0, seed: int = 0) -> Scenario:
+    """Generate one scenario instance from its (family, index, seed) address."""
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario family {family!r}; registered families: "
+            f"{list(list_families())}"
+        ) from None
+    rng = derive_rng(int(seed), family, int(index))
+    problem, metadata = builder.build(rng, int(index))
+    return Scenario(
+        family=family,
+        index=int(index),
+        seed=int(seed),
+        problem=problem,
+        metadata={"description": builder.description, **metadata},
+    )
+
+
+def generate(
+    families: Sequence[str] | None = None,
+    seed: int = 0,
+    per_family: int = 1,
+) -> list[Scenario]:
+    """Generate ``per_family`` instances of every requested family.
+
+    Args:
+        families: Family names (default: every registered family, in
+            registration order).
+        seed: Master seed; every instance derives an independent child
+            stream from it, so the full set is reproducible byte-for-byte.
+        per_family: Instances per family (the index varies sizes/variants).
+    """
+    if per_family < 1:
+        raise ValueError("per_family must be >= 1")
+    names = list(families) if families is not None else list(list_families())
+    return [
+        generate_one(name, index, seed)
+        for name in names
+        for index in range(per_family)
+    ]
+
+
+def scenario_from_spec(spec: dict) -> Scenario:
+    """Inverse of :attr:`Scenario.spec` (the service-facing constructor)."""
+    return generate_one(
+        spec["family"], int(spec.get("index", 0)), int(spec.get("seed", 0))
+    )
+
+
+def scenario_problem(family: str, index: int = 0, seed: int = 0) -> RankingProblem:
+    """Just the problem of one generated scenario (convenience for callers)."""
+    return generate_one(family, index, seed).problem
+
+
+# -- pure problem transforms --------------------------------------------------------
+
+
+def permute_tuples(problem: RankingProblem, order: np.ndarray) -> RankingProblem:
+    """The same problem with its tuples re-ordered by ``order``.
+
+    ``order[j]`` is the old index of the tuple placed at new position ``j``.
+    The given ranking and every tuple-indexed constraint are remapped, so
+    the transformed problem is semantically identical: any weight vector
+    scores the permuted problem with exactly the same position error.
+    """
+    order = np.asarray(order, dtype=int)
+    n = problem.num_tuples
+    if sorted(order.tolist()) != list(range(n)):
+        raise ValueError("order must be a permutation of range(num_tuples)")
+    new_of_old = np.empty(n, dtype=int)
+    new_of_old[order] = np.arange(n)
+
+    relation = problem.relation.take(order)
+    positions = problem.ranking.positions[order]
+    constraints = ConstraintSet(
+        list(problem.constraints.weight_constraints),
+        [
+            PositionRangeConstraint(
+                int(new_of_old[c.tuple_index]), c.min_position, c.max_position
+            )
+            for c in problem.constraints.position_constraints
+        ],
+        [
+            PrecedenceConstraint(int(new_of_old[c.above]), int(new_of_old[c.below]))
+            for c in problem.constraints.precedence_constraints
+        ],
+    )
+    return RankingProblem(
+        relation,
+        Ranking(positions),
+        attributes=problem.attributes,
+        constraints=constraints,
+        tolerances=problem.tolerances,
+    )
+
+
+def rescale_problem(problem: RankingProblem, factor: float) -> RankingProblem:
+    """Scale every ranking attribute AND the tolerances by ``factor``.
+
+    Scores under any fixed weight vector scale by the same factor, so the
+    induced ranking -- and therefore the position error -- is invariant.
+    Powers of two make the float scaling exact (no rounding at tolerance
+    boundaries); the metamorphic invariant uses those.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    columns = {name: problem.relation.column(name) for name in problem.relation.attribute_names}
+    for name in problem.attributes:
+        columns[name] = columns[name].astype(float) * factor
+    relation = Relation(columns, key=problem.relation.key)
+    tolerances = ToleranceSettings(
+        tie_eps=problem.tolerances.tie_eps * factor,
+        eps1=problem.tolerances.eps1 * factor,
+        eps2=problem.tolerances.eps2 * factor,
+    )
+    return RankingProblem(
+        relation,
+        Ranking(problem.ranking.positions, validate=False),
+        attributes=problem.attributes,
+        constraints=problem.constraints.copy(),
+        tolerances=tolerances,
+    )
+
+
+# -- mutation -----------------------------------------------------------------------
+
+#: Supported ``mutate`` kinds, in the order the default cycling uses them.
+MUTATION_KINDS: tuple[str, ...] = (
+    "jitter",
+    "permute",
+    "rescale",
+    "drop_unranked",
+    "tighten_tolerance",
+)
+
+
+def mutate(
+    problem: RankingProblem,
+    kind: str | None = None,
+    seed=0,
+) -> tuple[RankingProblem, str]:
+    """Perturb any problem; returns ``(mutated problem, kind applied)``.
+
+    Kinds:
+
+    * ``jitter`` -- add small uniform noise to the attribute matrix (clipped
+      to [0, 1]); the given ranking is kept, so previously-tight fits may
+      become imperfect.
+    * ``permute`` -- random tuple re-ordering (semantically neutral).
+    * ``rescale`` -- scale attributes and tolerances by a random power of
+      two (semantically neutral).
+    * ``drop_unranked`` -- remove one unranked tuple (a no-op returning the
+      problem unchanged when every tuple is ranked).
+    * ``tighten_tolerance`` -- halve ``tie_eps`` and the eps1/eps2 band,
+      pushing near-boundary score gaps across the decision line.
+
+    ``seed`` follows the package convention (int or shared Generator).
+    """
+    rng = as_generator(seed)
+    if kind is None:
+        kind = MUTATION_KINDS[int(rng.integers(0, len(MUTATION_KINDS)))]
+    if kind == "jitter":
+        matrix = problem.relation.matrix(problem.attributes)
+        # Noise and clipping are relative to each attribute's observed range,
+        # so problems whose attributes are not unit-scaled (raw NBA counts in
+        # the tens) get a small perturbation too instead of being clipped
+        # into a constant matrix.
+        low = matrix.min(axis=0, keepdims=True)
+        high = matrix.max(axis=0, keepdims=True)
+        span = np.where(high > low, high - low, 1.0)
+        noise = rng.uniform(-1e-3, 1e-3, size=matrix.shape) * span
+        jittered = np.clip(matrix + noise, low, high)
+        relation = problem.relation
+        for j, name in enumerate(problem.attributes):
+            relation = relation.with_column(name, jittered[:, j])
+        mutated = RankingProblem(
+            relation,
+            Ranking(problem.ranking.positions, validate=False),
+            attributes=problem.attributes,
+            constraints=problem.constraints.copy(),
+            tolerances=problem.tolerances,
+        )
+    elif kind == "permute":
+        mutated = permute_tuples(problem, rng.permutation(problem.num_tuples))
+    elif kind == "rescale":
+        mutated = rescale_problem(problem, float(2.0 ** int(rng.integers(-2, 3))))
+    elif kind == "drop_unranked":
+        unranked = problem.ranking.unranked_indices()
+        if unranked.size == 0:
+            return problem, kind
+        victim = int(unranked[int(rng.integers(0, unranked.size))])
+        keep = np.asarray([i for i in range(problem.num_tuples) if i != victim])
+        old_positions = problem.ranking.positions
+        constraints = ConstraintSet(
+            list(problem.constraints.weight_constraints),
+            [
+                PositionRangeConstraint(
+                    c.tuple_index - (c.tuple_index > victim),
+                    c.min_position,
+                    c.max_position,
+                )
+                for c in problem.constraints.position_constraints
+                if c.tuple_index != victim
+            ],
+            [
+                PrecedenceConstraint(
+                    c.above - (c.above > victim), c.below - (c.below > victim)
+                )
+                for c in problem.constraints.precedence_constraints
+                if victim not in (c.above, c.below)
+            ],
+        )
+        mutated = RankingProblem(
+            problem.relation.take(keep),
+            Ranking(old_positions[keep]),
+            attributes=problem.attributes,
+            constraints=constraints,
+            tolerances=problem.tolerances,
+        )
+    elif kind == "tighten_tolerance":
+        old = problem.tolerances
+        mutated = problem.with_tolerances(
+            ToleranceSettings(
+                tie_eps=old.tie_eps / 2.0, eps1=old.eps1 / 2.0, eps2=old.eps2 / 2.0
+            )
+        )
+    else:
+        raise ValueError(
+            f"unknown mutation kind {kind!r}; expected one of {MUTATION_KINDS}"
+        )
+    return mutated, kind

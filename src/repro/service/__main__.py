@@ -10,6 +10,7 @@ Examples::
     python -m repro.service --dataset nba --queries 24 --distinct 4
     python -m repro.service --backend process --method symgd --json
     python -m repro.service --methods symgd,sampling --method sampling
+    python -m repro.service --scenario tied_scores,heavy_tail --queries 12
 """
 
 from __future__ import annotations
@@ -26,9 +27,30 @@ from repro.service.server import QueryServer, QueryServerOptions
 
 
 def build_query_pool(
-    dataset: str, distinct: int, num_tuples: int, seed: int
+    dataset: str,
+    distinct: int,
+    num_tuples: int,
+    seed: int,
+    scenario_families: tuple[str, ...] | None = None,
 ) -> list[RankingProblem]:
-    """Distinct problems over one dataset (varying the ranking length k)."""
+    """Distinct problems over one dataset (varying the ranking length k).
+
+    With ``scenario_families`` set, the pool comes from the
+    :mod:`repro.scenarios` workload generator instead: family instances are
+    cycled (varying the instance index) until ``distinct`` problems exist,
+    so the service burst exercises generated adversarial workloads.
+    """
+    if scenario_families:
+        from repro.scenarios import generate_one
+
+        return [
+            generate_one(
+                scenario_families[index % len(scenario_families)],
+                index // len(scenario_families),
+                seed,
+            ).problem
+            for index in range(distinct)
+        ]
     problems = []
     for index in range(distinct):
         k = 3 + index
@@ -54,7 +76,13 @@ def build_query_pool(
 
 
 async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
-    problems = build_query_pool(args.dataset, args.distinct, args.tuples, args.seed)
+    problems = build_query_pool(
+        args.dataset,
+        args.distinct,
+        args.tuples,
+        args.seed,
+        scenario_families=args.scenario_families,
+    )
     if args.method in ("symgd", "symgd_adaptive"):
         params = {
             "cell_size": args.cell_size,
@@ -101,6 +129,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--dataset", default="nba",
                         choices=("nba", "csrankings", "synthetic"))
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FAMILY[,FAMILY...]",
+        help="serve generated workloads from these repro.scenarios families "
+        "instead of a dataset (see repro.scenarios.list_families())",
+    )
     parser.add_argument("--queries", type=int, default=24,
                         help="total queries in the burst (default: 24)")
     parser.add_argument("--distinct", type=int, default=4,
@@ -136,6 +171,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit the full per-request records as JSON")
     args = parser.parse_args(argv)
+
+    args.scenario_families = None
+    if args.scenario is not None:
+        from repro.scenarios import list_families
+
+        families = tuple(
+            name.strip() for name in args.scenario.split(",") if name.strip()
+        )
+        registered = set(list_families())
+        unknown = [name for name in families if name not in registered]
+        if not families or unknown:
+            parser.error(
+                f"--scenario names unknown families {unknown or '(none given)'}; "
+                f"registered: {sorted(registered)}"
+            )
+        args.scenario_families = families
 
     args.allowed_methods = None
     if args.methods is not None:

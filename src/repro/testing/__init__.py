@@ -1,0 +1,53 @@
+"""Differential / metamorphic testing layer over the method registry.
+
+* :mod:`repro.testing.invariants` -- the individual lawfulness checks
+  (result contract, exact dominance, cell-bound consistency, serialization
+  round-trips, permutation / rescaling metamorphics, executor and cache
+  parity), each returning :class:`~repro.testing.invariants.CheckResult`
+  objects so callers can aggregate instead of stopping at the first raise.
+* :mod:`repro.testing.oracle` -- :class:`~repro.testing.oracle.DifferentialOracle`,
+  which runs every registered method on a generated scenario and applies
+  the full invariant battery, producing one assertable
+  :class:`~repro.testing.oracle.OracleReport`.
+
+The pytest suites under ``tests/scenarios/`` are thin parametrizations of
+this package over :mod:`repro.scenarios`.
+"""
+
+from repro.testing.invariants import (
+    CheckResult,
+    check_cache_parity,
+    check_cell_bound_consistency,
+    check_exact_dominance,
+    check_executor_parity,
+    check_permutation_invariance,
+    check_problem_roundtrip,
+    check_rescaling_invariance,
+    check_result_contract,
+    check_serialization_roundtrip,
+    check_zero_error_witness,
+    results_equal,
+)
+from repro.testing.oracle import (
+    FAST_METHOD_OPTIONS,
+    DifferentialOracle,
+    OracleReport,
+)
+
+__all__ = [
+    "CheckResult",
+    "check_cache_parity",
+    "check_cell_bound_consistency",
+    "check_exact_dominance",
+    "check_executor_parity",
+    "check_permutation_invariance",
+    "check_problem_roundtrip",
+    "check_rescaling_invariance",
+    "check_result_contract",
+    "check_serialization_roundtrip",
+    "check_zero_error_witness",
+    "results_equal",
+    "FAST_METHOD_OPTIONS",
+    "DifferentialOracle",
+    "OracleReport",
+]

@@ -1,0 +1,409 @@
+"""Invariant checkers for differential / metamorphic testing.
+
+Every checker inspects one aspect of "the system behaved lawfully" and
+returns :class:`CheckResult` objects instead of raising, so the oracle can
+aggregate a full report per scenario (and a pytest assertion can print every
+violation at once).  The invariants:
+
+* **result contract** -- a method's result satisfies its own constraints:
+  the reported error is exactly the position error of the returned weights
+  on the problem, weights are finite and aligned with the attributes.
+* **exact dominance** -- when the exact solver proves optimality, no other
+  method may report a smaller error; SYM-GD never ends worse than its seed.
+* **cell bound consistency** -- any simplex-feasible result's error lies
+  within the interval-arithmetic error bounds of a cell containing it
+  (:func:`repro.core.cells.cell_error_bounds`).
+* **serialization** -- problem / request / result survive their
+  ``to_dict``/``from_dict`` wire format losslessly (fingerprints equal,
+  weights bit-identical).
+* **permutation invariance** -- re-ordering tuples never changes any weight
+  vector's error (metamorphic).
+* **rescaling invariance** -- scaling attributes and tolerances by a power
+  of two never changes any weight vector's error (metamorphic).
+* **executor / cache parity** -- serial, thread, and process backends (and
+  cache hit vs. fresh solve) produce identical fingerprints and results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cells import cell_around, cell_error_bounds
+from repro.core.problem import RankingProblem
+from repro.core.result import SynthesisResult
+from repro.data.rng import as_generator
+from repro.scenarios.generator import permute_tuples, rescale_problem
+
+__all__ = [
+    "CheckResult",
+    "check_result_contract",
+    "check_exact_dominance",
+    "check_cell_bound_consistency",
+    "check_problem_roundtrip",
+    "check_serialization_roundtrip",
+    "check_permutation_invariance",
+    "check_rescaling_invariance",
+    "check_executor_parity",
+    "check_cache_parity",
+    "check_zero_error_witness",
+    "results_equal",
+]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one invariant check on one subject."""
+
+    invariant: str
+    subject: str
+    passed: bool
+    details: str = ""
+
+    def __repr__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        suffix = f": {self.details}" if self.details and not self.passed else ""
+        return f"[{status}] {self.invariant}({self.subject}){suffix}"
+
+
+def _ok(invariant: str, subject: str, details: str = "") -> CheckResult:
+    return CheckResult(invariant, subject, True, details)
+
+
+def _fail(invariant: str, subject: str, details: str) -> CheckResult:
+    return CheckResult(invariant, subject, False, details)
+
+
+def results_equal(a: SynthesisResult, b: SynthesisResult) -> bool:
+    """Semantic equality of two results (wall-clock and node counts ignored).
+
+    ``equal_nan`` matters: a no-solution result carries NaN weights, and two
+    such results must still compare equal.
+    """
+    return (
+        int(a.error) == int(b.error)
+        and np.array_equal(
+            np.asarray(a.weights, dtype=float),
+            np.asarray(b.weights, dtype=float),
+            equal_nan=True,
+        )
+        and list(a.attributes) == list(b.attributes)
+    )
+
+
+def _on_simplex(weights: np.ndarray, tol: float = 1e-6) -> bool:
+    weights = np.asarray(weights, dtype=float).ravel()
+    return (
+        np.all(np.isfinite(weights))
+        and bool(np.all(weights >= -tol))
+        and abs(float(weights.sum()) - 1.0) <= tol
+    )
+
+
+# -- per-result invariants ----------------------------------------------------------
+
+
+def check_result_contract(
+    problem: RankingProblem, method: str, result: SynthesisResult
+) -> CheckResult:
+    """The result satisfies its own constraints on this problem."""
+    invariant = "result_contract"
+    if result.error < -1:
+        return _fail(invariant, method, f"error={result.error} below the -1 sentinel")
+    if result.error == -1:
+        return _ok(invariant, method, "no solution reported")
+    weights = np.asarray(result.weights, dtype=float).ravel()
+    if weights.shape[0] != problem.num_attributes:
+        return _fail(
+            invariant,
+            method,
+            f"weights length {weights.shape[0]} != m={problem.num_attributes}",
+        )
+    if not np.all(np.isfinite(weights)):
+        return _fail(invariant, method, "non-finite weights with error >= 0")
+    if list(result.attributes) != list(problem.attributes):
+        return _fail(invariant, method, "attributes do not match the problem")
+    recomputed = problem.error_of(weights)
+    if int(result.error) != int(recomputed):
+        return _fail(
+            invariant,
+            method,
+            f"reported error {result.error} != recomputed {recomputed}",
+        )
+    return _ok(invariant, method)
+
+
+def check_cell_bound_consistency(
+    problem: RankingProblem,
+    method: str,
+    result: SynthesisResult,
+    cell_size: float = 0.2,
+) -> CheckResult:
+    """The result's error lies inside the error bounds of a cell around it.
+
+    :func:`cell_error_bounds` bounds the position error of EVERY weight
+    vector inside a cell; the returned weights are one such vector, so a
+    violation means the interval arithmetic (or the error evaluation) is
+    wrong.  Only simplex-feasible weights are checked -- the bound analysis
+    intersects the cell with the simplex.
+    """
+    invariant = "cell_bound"
+    if result.error < 0:
+        return _ok(invariant, method, "skipped: no solution")
+    weights = np.asarray(result.weights, dtype=float).ravel()
+    if not _on_simplex(weights):
+        return _ok(invariant, method, "skipped: weights off the simplex")
+    cell = cell_around(weights, cell_size)
+    lower, upper = cell_error_bounds(problem, cell)
+    if not lower <= int(result.error) <= upper:
+        return _fail(
+            invariant,
+            method,
+            f"error {result.error} outside cell bounds [{lower}, {upper}]",
+        )
+    return _ok(invariant, method)
+
+
+def check_problem_roundtrip(problem: RankingProblem) -> CheckResult:
+    """The problem itself survives its wire format (method-independent)."""
+    from repro.engine.fingerprint import fingerprint_problem
+
+    invariant = "serialization"
+    rebuilt = RankingProblem.from_dict(problem.to_dict())
+    if fingerprint_problem(rebuilt) != fingerprint_problem(problem):
+        return _fail(invariant, "problem", "problem fingerprint changed")
+    return _ok(invariant, "problem")
+
+
+def check_serialization_roundtrip(request, result: SynthesisResult) -> list[CheckResult]:
+    """Request and result survive the wire format losslessly.
+
+    The problem's own round-trip is method-independent; check it once per
+    problem with :func:`check_problem_roundtrip` instead of once per method.
+    """
+    from repro.api.request import SynthesisRequest
+
+    invariant = "serialization"
+    subject = request.method
+    checks: list[CheckResult] = []
+
+    rebuilt_request = SynthesisRequest.from_dict(request.to_dict())
+    if rebuilt_request.fingerprint != request.fingerprint:
+        checks.append(_fail(invariant, subject, "request fingerprint changed"))
+    else:
+        checks.append(_ok(invariant, f"{subject}/request"))
+
+    rebuilt_result = SynthesisResult.from_dict(result.to_dict())
+    if not results_equal(rebuilt_result, result):
+        checks.append(_fail(invariant, subject, "result changed across to/from_dict"))
+    else:
+        checks.append(_ok(invariant, f"{subject}/result"))
+    return checks
+
+
+# -- cross-method invariants --------------------------------------------------------
+
+
+def check_exact_dominance(
+    problem: RankingProblem, results: dict[str, SynthesisResult]
+) -> list[CheckResult]:
+    """A proven MILP optimum lower-bounds every feasible method's error.
+
+    The bound argument needs two gates.  First, the MILP objective counts
+    separations with the eps1/eps2 thresholds while the reported error uses
+    the tie tolerance; the objective is a valid lower bound on the true
+    error of every weight vector only when ``eps2 <= tie_eps < eps1`` (the
+    Section V-A construction), so other tolerance regimes are skipped.
+    Second, the bound quantifies over the MILP's feasible set -- baselines
+    that return unnormalized or constraint-violating weights (linear
+    regression's signed fits) optimize a larger class and may legitimately
+    beat the optimum, so only simplex- and constraint-feasible results are
+    compared.
+    """
+    invariant = "exact_dominance"
+    checks: list[CheckResult] = []
+    exact = results.get("rankhow")
+    tolerances = problem.tolerances
+    bound_applies = tolerances.eps2 <= tolerances.tie_eps < tolerances.eps1
+    if exact is not None and exact.optimal and exact.error >= 0 and bound_applies:
+        bound = int(round(exact.objective))
+        for method, result in results.items():
+            if method == "rankhow" or result.error < 0:
+                continue
+            if not problem.weights_feasible(np.asarray(result.weights, dtype=float)):
+                continue
+            if result.error < bound:
+                checks.append(
+                    _fail(
+                        invariant,
+                        method,
+                        f"error {result.error} beats the proven MILP bound {bound}",
+                    )
+                )
+        if not any(not c.passed for c in checks):
+            checks.append(_ok(invariant, "rankhow", f"bound {bound} dominates"))
+    else:
+        checks.append(_ok(invariant, "rankhow", "skipped: optimality not proven"))
+
+    for method, result in results.items():
+        seed_error = result.diagnostics.get("seed_error")
+        if seed_error is None or result.error < 0:
+            continue
+        if int(result.error) > int(seed_error):
+            checks.append(
+                _fail(
+                    invariant,
+                    method,
+                    f"descent ended at {result.error}, worse than its seed "
+                    f"{seed_error}",
+                )
+            )
+        else:
+            checks.append(_ok(invariant, f"{method}/seed"))
+    return checks
+
+
+def check_zero_error_witness(
+    problem: RankingProblem, witness, subject: str = "generator"
+) -> CheckResult:
+    """A scenario's advertised zero-error weight vector really has error 0."""
+    invariant = "zero_error_witness"
+    weights = np.asarray(witness, dtype=float).ravel()
+    error = problem.error_of(weights)
+    if error != 0:
+        return _fail(invariant, subject, f"witness has error {error}, expected 0")
+    return _ok(invariant, subject)
+
+
+# -- metamorphic invariants ---------------------------------------------------------
+
+
+def check_permutation_invariance(
+    problem: RankingProblem,
+    weights,
+    seed=0,
+    subject: str = "scoring",
+) -> CheckResult:
+    """Tuple order never affects a weight vector's position error."""
+    invariant = "permutation_invariance"
+    weights = np.asarray(weights, dtype=float).ravel()
+    if not np.all(np.isfinite(weights)):
+        return _ok(invariant, subject, "skipped: non-finite weights")
+    rng = as_generator(seed)
+    order = rng.permutation(problem.num_tuples)
+    permuted = permute_tuples(problem, order)
+    before = problem.error_of(weights)
+    after = permuted.error_of(weights)
+    if before != after:
+        return _fail(
+            invariant, subject, f"error changed under permutation: {before} -> {after}"
+        )
+    return _ok(invariant, subject)
+
+
+def check_rescaling_invariance(
+    problem: RankingProblem,
+    weights,
+    factors=(0.5, 4.0),
+    subject: str = "scoring",
+) -> CheckResult:
+    """Scaling attributes and tolerances together never changes the error.
+
+    Power-of-two factors keep the float multiplication exact, so the check
+    is deterministic even at tolerance boundaries.
+    """
+    invariant = "rescaling_invariance"
+    weights = np.asarray(weights, dtype=float).ravel()
+    if not np.all(np.isfinite(weights)):
+        return _ok(invariant, subject, "skipped: non-finite weights")
+    before = problem.error_of(weights)
+    for factor in factors:
+        rescaled = rescale_problem(problem, factor)
+        after = rescaled.error_of(weights)
+        if after != before:
+            return _fail(
+                invariant,
+                subject,
+                f"error changed under x{factor} rescaling: {before} -> {after}",
+            )
+    return _ok(invariant, subject)
+
+
+# -- execution-substrate invariants -------------------------------------------------
+
+
+def check_executor_parity(
+    cases: Sequence[tuple],
+    backends=("serial", "thread"),
+) -> list[CheckResult]:
+    """Every executor backend returns identical fingerprints and results.
+
+    ``cases`` is a list of ``(problem, method, options)`` triples solved as
+    ONE batch per backend.  Batching matters: pooled executors run
+    single-item batches inline, so a one-request comparison would never
+    exercise the thread or process pool it claims to test.
+    """
+    from repro.api.request import SynthesisRequest
+    from repro.engine.engine import SolveEngine
+
+    invariant = "executor_parity"
+    outcomes = {}
+    for backend in backends:
+        requests = [
+            SynthesisRequest(problem, method, dict(options or {}))
+            for problem, method, options in cases
+        ]
+        with SolveEngine(backend=backend) as engine:
+            outcomes[backend] = engine.solve_batch(requests)
+    checks: list[CheckResult] = []
+    baseline_name = backends[0]
+    baseline = outcomes[baseline_name]
+    for backend in backends[1:]:
+        for index, (case, base, other) in enumerate(
+            zip(cases, baseline, outcomes[backend])
+        ):
+            subject = f"{case[1]}[{index}]:{baseline_name}=={backend}"
+            if other.fingerprint != base.fingerprint:
+                checks.append(_fail(invariant, subject, "fingerprints diverge"))
+            elif not results_equal(other.result, base.result):
+                checks.append(
+                    _fail(
+                        invariant,
+                        subject,
+                        f"results diverge (errors {base.result.error} vs "
+                        f"{other.result.error})",
+                    )
+                )
+            else:
+                checks.append(_ok(invariant, subject))
+    return checks
+
+
+def check_cache_parity(
+    problem: RankingProblem, method: str, options: dict | None = None
+) -> list[CheckResult]:
+    """Cache-off, cache-miss, and cache-hit paths agree on the result."""
+    from repro.api.registry import get_method
+    from repro.engine.engine import SolveEngine
+
+    invariant = "cache_parity"
+    checks: list[CheckResult] = []
+    direct = get_method(method).synthesize(problem, dict(options or {}))
+    with SolveEngine(backend="serial") as engine:
+        first = engine.solve(problem, method, dict(options or {}))
+        second = engine.solve(problem, method, dict(options or {}))
+    if first.cache_hit:
+        checks.append(_fail(invariant, method, "first solve claimed a cache hit"))
+    elif not second.cache_hit:
+        checks.append(_fail(invariant, method, "repeat solve missed the cache"))
+    elif not results_equal(first.result, second.result):
+        checks.append(_fail(invariant, method, "cache hit returned a different result"))
+    elif not results_equal(first.result, direct):
+        checks.append(
+            _fail(invariant, method, "engine result differs from the cache-off solve")
+        )
+    else:
+        checks.append(_ok(invariant, method))
+    return checks

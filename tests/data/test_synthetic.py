@@ -1,13 +1,15 @@
-"""Tests for the uniform / correlated / anti-correlated generators."""
+"""Tests for the synthetic generators and the shared seeding convention."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.data.rng import as_generator, derive_rng, stable_key
 from repro.data.synthetic import (
     generate_anticorrelated,
     generate_correlated,
+    generate_heavy_tail,
     generate_synthetic,
     generate_uniform,
 )
@@ -60,12 +62,73 @@ def test_uniform_attributes_are_roughly_independent():
     assert np.all(np.abs(off_diagonal) < 0.1)
 
 
+def test_heavy_tail_is_normalized_and_skewed():
+    matrix = generate_heavy_tail(2000, 3, seed=5).matrix()
+    assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+    # Heavy tail: the bulk sits far below the maximum in every column.
+    assert np.all(np.median(matrix, axis=0) < 0.35)
+    with pytest.raises(ValueError):
+        generate_heavy_tail(10, 3, sigma=0.0)
+
+
 def test_dispatch_by_name():
-    for name in ("uniform", "correlated", "anticorrelated", "anti-correlated"):
+    for name in (
+        "uniform",
+        "correlated",
+        "anticorrelated",
+        "anti-correlated",
+        "heavy_tail",
+    ):
         relation = generate_synthetic(name, 10, 3, seed=0)
         assert relation.num_tuples == 10
     with pytest.raises(ValueError):
         generate_synthetic("zipfian", 10, 3)
+
+
+# -- the shared seeding convention (repro.data.rng) ---------------------------------
+
+
+def test_int_seeds_keep_historical_streams():
+    """as_generator(int) is bit-identical to the old default_rng(int) path."""
+    ours = generate_uniform(30, 3, seed=9).matrix()
+    reference = np.random.default_rng(9).uniform(0.0, 1.0, size=(30, 3))
+    assert np.array_equal(ours, reference)
+
+
+def test_one_generator_threads_through_multiple_calls():
+    """A shared Generator yields distinct but fully seed-determined relations."""
+    rng = as_generator(42)
+    first = generate_uniform(20, 3, seed=rng).matrix()
+    second = generate_correlated(20, 3, seed=rng).matrix()
+    assert not np.array_equal(first, second[:, : first.shape[1]])
+
+    replay = as_generator(42)
+    assert np.array_equal(first, generate_uniform(20, 3, seed=replay).matrix())
+    assert np.array_equal(second, generate_correlated(20, 3, seed=replay).matrix())
+
+
+def test_as_generator_passes_generators_through():
+    rng = np.random.default_rng(0)
+    assert as_generator(rng) is rng
+
+
+def test_derive_rng_children_are_independent_and_stable():
+    a1 = derive_rng(7, "family", 0).uniform(size=4)
+    a2 = derive_rng(7, "family", 0).uniform(size=4)
+    b = derive_rng(7, "family", 1).uniform(size=4)
+    c = derive_rng(7, "other", 0).uniform(size=4)
+    assert np.array_equal(a1, a2)
+    assert not np.array_equal(a1, b)
+    assert not np.array_equal(a1, c)
+    # String keys hash stably (not via the randomized builtin hash).
+    assert stable_key("family") == stable_key("family")
+
+
+def test_derive_rng_from_generator_advances_the_parent():
+    parent = as_generator(3)
+    child1 = derive_rng(parent, "x")
+    child2 = derive_rng(parent, "x")
+    assert not np.array_equal(child1.uniform(size=3), child2.uniform(size=3))
 
 
 def test_parameter_validation():

@@ -1,0 +1,42 @@
+"""Fixtures for the differential / metamorphic scenario suites.
+
+The master seed is fixed (CI pins it via ``REPRO_SCENARIO_SEED``) so every
+run reproduces the same workloads byte-for-byte; change the seed locally to
+probe new instances of every family.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.scenarios import generate_one
+from repro.testing import DifferentialOracle
+
+SCENARIO_SEED = int(os.environ.get("REPRO_SCENARIO_SEED", "20260730"))
+
+
+@pytest.fixture(scope="session")
+def scenario_seed() -> int:
+    return SCENARIO_SEED
+
+
+@pytest.fixture(scope="session")
+def oracle() -> DifferentialOracle:
+    """One oracle (all registered methods, fast budgets) for the whole session."""
+    return DifferentialOracle()
+
+
+@pytest.fixture(scope="session")
+def scenario_cache():
+    """Memoized scenario instances so parametrized tests share generation."""
+    cache: dict = {}
+
+    def get(family: str, index: int = 0):
+        key = (family, index)
+        if key not in cache:
+            cache[key] = generate_one(family, index, SCENARIO_SEED)
+        return cache[key]
+
+    return get

@@ -1,0 +1,132 @@
+"""Generator-level tests: determinism, composability, mutation, wire format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.fingerprint import fingerprint_problem
+from repro.scenarios import (
+    FAMILIES,
+    MUTATION_KINDS,
+    generate,
+    generate_one,
+    list_families,
+    mutate,
+    permute_tuples,
+    rescale_problem,
+    scenario_from_spec,
+)
+
+ALL_FAMILIES = list_families()
+
+
+def test_at_least_eight_families_registered():
+    assert len(ALL_FAMILIES) >= 8
+    # Names are the registry keys; every entry self-describes.
+    for name in ALL_FAMILIES:
+        assert FAMILIES[name].description
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_identical_seeds_are_byte_identical(family, scenario_seed):
+    a = generate_one(family, 0, scenario_seed)
+    b = generate_one(family, 0, scenario_seed)
+    assert np.array_equal(a.problem.matrix, b.problem.matrix)
+    assert a.problem.matrix.tobytes() == b.problem.matrix.tobytes()
+    assert fingerprint_problem(a.problem) == fingerprint_problem(b.problem)
+    assert a.metadata == b.metadata
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_instances_are_independent_of_generation_order(family, scenario_seed):
+    """A family generated alone equals the same family inside the full set."""
+    alone = generate_one(family, 0, scenario_seed)
+    full = {s.family: s for s in generate(seed=scenario_seed, per_family=1)}
+    assert fingerprint_problem(alone.problem) == fingerprint_problem(
+        full[family].problem
+    )
+
+
+def test_different_seeds_and_indices_differ(scenario_seed):
+    base = generate_one("tied_scores", 0, scenario_seed)
+    other_seed = generate_one("tied_scores", 0, scenario_seed + 1)
+    other_index = generate_one("tied_scores", 1, scenario_seed)
+    assert fingerprint_problem(base.problem) != fingerprint_problem(other_seed.problem)
+    assert fingerprint_problem(base.problem) != fingerprint_problem(other_index.problem)
+
+
+def test_spec_roundtrip(scenario_seed):
+    scenario = generate_one("constrained", 0, scenario_seed)
+    rebuilt = scenario_from_spec(scenario.spec)
+    assert rebuilt.name == scenario.name
+    assert fingerprint_problem(rebuilt.problem) == fingerprint_problem(
+        scenario.problem
+    )
+
+
+def test_unknown_family_fails_loudly():
+    with pytest.raises(ValueError, match="registered families"):
+        generate_one("nope", 0, 0)
+
+
+@pytest.mark.parametrize("kind", MUTATION_KINDS)
+def test_mutations_are_deterministic(kind, scenario_cache):
+    problem = scenario_cache("heavy_tail").problem
+    a, kind_a = mutate(problem, kind=kind, seed=3)
+    b, kind_b = mutate(problem, kind=kind, seed=3)
+    assert kind_a == kind_b == kind
+    assert fingerprint_problem(a) == fingerprint_problem(b)
+
+
+def test_jitter_and_permute_change_the_fingerprint(scenario_cache):
+    problem = scenario_cache("tied_scores").problem
+    for kind in ("jitter", "permute", "rescale"):
+        mutated, _ = mutate(problem, kind=kind, seed=5)
+        assert fingerprint_problem(mutated) != fingerprint_problem(problem), kind
+
+
+def test_drop_unranked_is_a_noop_on_full_rankings(scenario_seed):
+    # degenerate index 1 is the full-ranking variant: every tuple is ranked.
+    scenario = generate_one("degenerate", 1, scenario_seed)
+    assert scenario.problem.k == scenario.problem.num_tuples
+    mutated, _ = mutate(scenario.problem, kind="drop_unranked", seed=1)
+    assert mutated is scenario.problem
+
+
+def test_permute_tuples_remaps_constraints(scenario_cache):
+    problem = scenario_cache("constrained").problem
+    order = np.arange(problem.num_tuples)[::-1]
+    permuted = permute_tuples(problem, order)
+    before = problem.constraints.precedence_constraints[0]
+    after = permuted.constraints.precedence_constraints[0]
+    n = problem.num_tuples
+    assert after.above == n - 1 - before.above
+    assert after.below == n - 1 - before.below
+    # Same semantics: the permuted problem ranks the same data.
+    assert permuted.ranking.k == problem.ranking.k
+
+
+def test_rescale_problem_scales_matrix_and_tolerances(scenario_cache):
+    problem = scenario_cache("tolerance_boundary").problem
+    rescaled = rescale_problem(problem, 4.0)
+    assert np.array_equal(rescaled.matrix, problem.matrix * 4.0)
+    assert rescaled.tolerances.tie_eps == problem.tolerances.tie_eps * 4.0
+    assert rescaled.tolerances.eps1 == problem.tolerances.eps1 * 4.0
+
+
+def test_family_structure_claims_hold(scenario_cache):
+    """Each family really exhibits the structure it advertises."""
+    assert scenario_cache("tied_scores").problem.ranking.has_ties()
+    dup = scenario_cache("duplicate_tuples").problem
+    matrix = dup.matrix
+    half = matrix.shape[0] // 2
+    assert np.array_equal(matrix[:half], matrix[half:])
+    assert scenario_cache("degenerate").problem.k == 1
+    near = scenario_cache("near_infeasible_tolerance").problem
+    assert near.tolerances.eps1 - near.tolerances.eps2 < 1e-9
+    large_k = scenario_cache("large_k").problem
+    assert large_k.k >= large_k.num_tuples // 2
+    wide = scenario_cache("wide").problem
+    assert wide.num_attributes >= 6
+    assert len(scenario_cache("constrained").problem.constraints) >= 3

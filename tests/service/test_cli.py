@@ -64,3 +64,26 @@ def test_methods_flag_rejects_empty_allowlist(capsys):
     with pytest.raises(SystemExit):
         main(["--methods", ","])
     assert "at least one" in capsys.readouterr().err
+
+
+def test_scenario_flag_serves_generated_workloads(capsys):
+    payload = run_cli(
+        [
+            "--scenario", "rank_reversal,degenerate",
+            "--method", "linear_regression",
+            "--seed", "20260730",
+        ],
+        capsys,
+    )
+    assert payload["stats"]["requests"] == 4
+    # Two generated problems, repeated: repeats must dedup exactly like
+    # dataset-built problems do (the generator is fingerprint-stable).
+    assert payload["stats"]["solver_invocations"] == 2
+    for record in payload["responses"]:
+        assert record["result"]["method"] == "linear_regression"
+
+
+def test_scenario_flag_rejects_unknown_families(capsys):
+    with pytest.raises(SystemExit):
+        main(["--scenario", "rank_reversal,bogus_family"])
+    assert "bogus_family" in capsys.readouterr().err

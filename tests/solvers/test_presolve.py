@@ -99,3 +99,61 @@ def test_presolve_keeps_undecidable_indicators():
     assert report.fixed_binaries == 0
     assert len(model.indicators) == 2
     assert np.all([ind.big_m is not None for ind in model.indicators])
+
+
+# -- edge cases ---------------------------------------------------------------------
+
+
+def test_presolve_on_empty_model_is_a_noop():
+    model = MILPModel()
+    report = presolve(model)
+    assert (report.fixed_binaries, report.tightened_big_ms, report.removed_indicators) == (0, 0, 0)
+    assert len(model.indicators) == 0
+    assert len(model.constraints) == 0
+
+
+def test_presolve_without_indicators_leaves_constraints_alone():
+    model = MILPModel()
+    x = model.add_continuous(lower=0.0, upper=1.0, objective=1.0)
+    model.add_constraint({x: 1.0}, ">=", 0.5)
+    rows_before = len(model.constraints)
+    report = presolve(model)
+    assert report.removed_indicators == 0
+    assert len(model.constraints) == rows_before
+    solution = BranchAndBoundSolver().solve(model)
+    assert solution.has_solution
+    assert solution.objective == pytest.approx(0.5, abs=1e-6)
+
+
+def test_presolve_keeps_binary_free_when_both_arms_are_impossible():
+    # Both arms violate the box: fixing either way would be wrong, so the
+    # indicator must survive and infeasibility is left to the solver.
+    model = MILPModel()
+    x = model.add_continuous(lower=0.0, upper=0.1)
+    d = model.add_binary()
+    model.add_indicator(d, 1, {x: 1.0}, ">=", 0.9)
+    model.add_indicator(d, 0, {x: 1.0}, ">=", 0.5)
+    report = presolve(model)
+    assert report.fixed_binaries == 0
+    assert len(model.indicators) == 2
+    solution = BranchAndBoundSolver().solve(model)
+    assert not solution.has_solution
+
+
+def test_presolve_preserves_infeasibility():
+    def build() -> MILPModel:
+        model = MILPModel()
+        x = model.add_continuous(lower=0.0, upper=1.0)
+        model.add_constraint({x: 1.0}, ">=", 0.8)
+        model.add_constraint({x: 1.0}, "<=", 0.2)
+        d = model.add_binary()
+        model.add_indicator(d, 1, {x: 1.0}, ">=", 0.5)
+        model.add_indicator(d, 0, {x: 1.0}, "<=", 0.5)
+        return model
+
+    plain = BranchAndBoundSolver().solve(build())
+    reduced_model = build()
+    presolve(reduced_model)
+    reduced = BranchAndBoundSolver().solve(reduced_model)
+    assert not plain.has_solution
+    assert not reduced.has_solution

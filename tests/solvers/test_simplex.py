@@ -104,6 +104,63 @@ def test_dimension_mismatch_raises():
         solve_standard_form(np.ones(3), np.ones(3), np.ones(1))
 
 
+def test_all_tied_objective_returns_some_feasible_vertex():
+    # Every feasible point has the same objective: the solver must terminate
+    # at optimality and report that common value.
+    c = np.array([1.0, 1.0, 1.0])
+    a = np.array([[1.0, 1.0, 1.0]])
+    b = np.array([2.0])
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.objective == pytest.approx(2.0)
+    assert np.all(result.x >= -1e-9)
+    assert result.x.sum() == pytest.approx(2.0)
+
+
+def test_all_zero_objective_is_optimal_immediately_after_phase1():
+    c = np.zeros(2)
+    a = np.array([[1.0, 2.0]])
+    b = np.array([3.0])
+    result = solve_standard_form(c, a, b)
+    assert result.is_optimal
+    assert result.objective == pytest.approx(0.0)
+    assert a @ result.x == pytest.approx(b)
+
+
+def test_empty_constraints_with_empty_objective():
+    # Zero variables, zero rows: trivially optimal at the empty vector.
+    result = solve_standard_form(np.zeros(0), np.zeros((0, 0)), np.zeros(0))
+    assert result.is_optimal
+    assert result.objective == pytest.approx(0.0)
+    assert result.x.shape == (0,)
+
+
+def test_unbounded_without_constraints_detected():
+    # No rows and a negative cost: x can grow forever.
+    result = solve_standard_form(np.array([-1.0, 1.0]), np.zeros((0, 2)), np.zeros(0))
+    assert result.status is SimplexStatus.UNBOUNDED
+
+
+def test_conflicting_equalities_are_infeasible():
+    # x1 + x2 = 1 and x1 + x2 = 2 cannot both hold.
+    c = np.array([0.0, 0.0])
+    a = np.array([[1.0, 1.0], [1.0, 1.0]])
+    b = np.array([1.0, 2.0])
+    result = solve_standard_form(c, a, b)
+    assert result.status is SimplexStatus.INFEASIBLE
+
+
+def test_iteration_limit_is_reported():
+    # A pivot budget of zero cannot even finish phase 1.
+    c = np.array([-1.0, -2.0, 0.0, 0.0])
+    a = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 3.0, 0.0, 1.0]])
+    b = np.array([4.0, 6.0])
+    result = solve_standard_form(c, a, b, max_iterations=0)
+    assert result.status is SimplexStatus.ITERATION_LIMIT
+    assert result.iterations == 0
+    assert np.isnan(result.objective)
+
+
 def test_solution_is_feasible_and_nonnegative():
     rng = np.random.default_rng(0)
     a = rng.uniform(0.0, 1.0, size=(3, 6))
