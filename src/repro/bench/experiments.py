@@ -49,6 +49,7 @@ __all__ = [
     "experiment_fig3mno_derived",
     "experiment_engine_throughput",
     "experiment_scenarios",
+    "experiment_hotpaths",
 ]
 
 #: Methods compared in the exact-OPT figures (AdaRank is added for CSRankings,
@@ -752,4 +753,165 @@ def experiment_fig3mno_derived(
                         result,
                     )
                 )
+    return records
+
+
+# -- E11: solver hot-path micro-benchmarks ------------------------------------------
+
+
+def experiment_hotpaths(
+    scale: BenchmarkScale | None = None,
+    distributions: Sequence[str] = ("uniform", "correlated", "anticorrelated"),
+    warmstart_tuples: int = 120,
+    warmstart_k: int = 6,
+    cells_tuples: int = 800,
+    cells_max: int = 256,
+    seeds_tuples: int = 120,
+    num_seeds: int = 4,
+) -> list[ExperimentRecord]:
+    """Micro-benchmarks of the three solver hot paths.
+
+    * ``hotpaths_warmstart`` -- the fig3jkl scalability workload (synthetic
+      data ranked by the cubic function, one problem per distribution)
+      solved by SYM-GD on the built-in simplex backend, once with the
+      branch-and-bound basis warm start disabled (cold two-phase solve per
+      node) and once enabled.  ``extra["lp_iterations"]`` carries the total
+      simplex pivots across every cell solve's B&B nodes -- the quantity the
+      bench asserts strictly shrinks under warm-starting.
+    * ``hotpaths_cells`` -- the per-cell error-bound classification of a
+      simplex-covering grid, scalar reference loop vs. the batched
+      matrix-program classifier (``extra["cells_per_second"]``).
+    * ``hotpaths_seeds`` -- multi-seed SYM-GD, historical per-seed descent
+      loop vs. the lockstep matrix driver (``extra["seeds_per_second"]``).
+
+    Every leg rebuilds its problems and solver objects from scratch so no
+    state (LP matrices, fingerprint memos, solver caches) leaks between the
+    timed variants.
+    """
+    from repro.core.cells import (
+        cell_error_bounds_many,
+        cell_error_bounds_reference,
+        grid_cells,
+    )
+    from repro.core.symgd import SymGD, default_seed_points
+
+    scale = scale or BenchmarkScale.from_environment()
+    records: list[ExperimentRecord] = []
+
+    # -- warm-started branch-and-bound on the fig3jkl workload ---------------
+    def _symgd_simplex_params(warm: bool) -> dict:
+        # Uniform (simplex-center) seeding instead of the ordinal default:
+        # the microbench needs descents that actually branch, not ones whose
+        # seed already achieves error 0 and never enters the tree.
+        return {
+            "cell_size": 0.05,
+            "max_iterations": 4,
+            "seed_strategy": "uniform",
+            "solver_options": {
+                "node_limit": 80,
+                "lp_method": "simplex",
+                "verify": False,
+                "warm_start_strategy": "none",
+                "extra": {"warm_start_lp": warm},
+            },
+        }
+
+    for distribution in distributions:
+        for warm in (False, True):
+            problem = synthetic_problem(
+                distribution,
+                num_tuples=warmstart_tuples,
+                k=warmstart_k,
+                exponent=3.0,
+                seed=0,
+            )
+            start = time.perf_counter()
+            result = get_method("symgd").synthesize(
+                problem, _symgd_simplex_params(warm)
+            )
+            wall = time.perf_counter() - start
+            records.append(
+                ExperimentRecord(
+                    experiment="hotpaths_warmstart",
+                    dataset=distribution,
+                    method="symgd_bb[warm]" if warm else "symgd_bb[cold]",
+                    params={"n": warmstart_tuples, "k": warmstart_k, "warm": warm},
+                    error=float(result.error),
+                    per_tuple_error=float(result.error) / max(warmstart_k, 1),
+                    time_seconds=wall,
+                    extra={
+                        "nodes": result.nodes,
+                        "lp_iterations": int(
+                            result.diagnostics.get("lp_iterations", 0)
+                        ),
+                        "cell_solves": result.iterations,
+                    },
+                )
+            )
+
+    # -- batched cell-bound classification -----------------------------------
+    problem = synthetic_problem("uniform", num_tuples=cells_tuples, k=10, seed=0)
+    cells = grid_cells(problem.num_attributes, 0.2, max_cells=cells_max)
+    start = time.perf_counter()
+    reference = [cell_error_bounds_reference(problem, cell) for cell in cells]
+    reference_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = cell_error_bounds_many(problem, cells, vectorized=True)
+    batched_wall = time.perf_counter() - start
+    for label, wall, bounds in (
+        ("cell_bounds[reference]", reference_wall, reference),
+        ("cell_bounds[batched]", batched_wall, batched),
+    ):
+        records.append(
+            ExperimentRecord(
+                experiment="hotpaths_cells",
+                dataset="uniform",
+                method=label,
+                params={"n": cells_tuples, "cells": len(cells)},
+                error=float(sum(low for low, _ in bounds)),
+                time_seconds=wall,
+                extra={
+                    "cells_per_second": len(cells) / max(wall, 1e-9),
+                    "matches_reference": bounds == reference,
+                },
+            )
+        )
+
+    # -- matrix multi-seed SYM-GD --------------------------------------------
+    symgd_options = SymGDOptions(
+        cell_size=0.2,
+        max_iterations=4,
+        seed_strategy="uniform",
+        solver_options=RankHowOptions(
+            node_limit=50, verify=False, warm_start_strategy="none"
+        ),
+    )
+    for vectorized in (False, True):
+        problem = synthetic_problem(
+            "uniform", num_tuples=seeds_tuples, k=6, exponent=3.0, seed=0
+        )
+        seeds = default_seed_points(problem, num_seeds)
+        start = time.perf_counter()
+        result = SymGD(symgd_options).solve_multi_seed(
+            problem, seeds=seeds, vectorized=vectorized
+        )
+        wall = time.perf_counter() - start
+        records.append(
+            ExperimentRecord(
+                experiment="hotpaths_seeds",
+                dataset="uniform",
+                method="multiseed[matrix]" if vectorized else "multiseed[reference]",
+                params={"n": seeds_tuples, "seeds": num_seeds},
+                error=float(result.error),
+                per_tuple_error=float(result.error) / max(problem.k, 1),
+                time_seconds=wall,
+                extra={
+                    "seeds_per_second": num_seeds / max(wall, 1e-9),
+                    "per_seed_errors": list(
+                        result.diagnostics["per_seed_errors"]
+                    ),
+                    "iterations": result.iterations,
+                },
+            )
+        )
     return records

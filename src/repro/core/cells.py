@@ -28,7 +28,9 @@ __all__ = [
     "cell_around",
     "grid_cells",
     "cell_error_bounds",
+    "cell_error_bounds_reference",
     "cell_error_bounds_many",
+    "CellBoundEvaluator",
 ]
 
 
@@ -128,16 +130,15 @@ def grid_cells(
     return cells
 
 
-def cell_error_bounds(problem: RankingProblem, cell: Cell) -> tuple[int, int]:
-    """Lower and upper bound of the position error over a cell.
+def cell_error_bounds_reference(
+    problem: RankingProblem, cell: Cell
+) -> tuple[int, int]:
+    """Scalar reference implementation of :func:`cell_error_bounds`.
 
-    For every ranked tuple ``r`` and every other tuple ``s``, the score
-    difference ``w . (s - r)`` over the cell (intersected with the simplex) is
-    bounded by interval arithmetic; comparing the interval with ``eps1`` /
-    ``eps2`` classifies the indicator as certainly 1, certainly 0, or free.
-    The induced rank of ``r`` then lies in ``[1 + certain_ones,
-    1 + certain_ones + free]`` and its error contribution in the distance
-    between that interval and the given position.
+    One Python-level pass per ranked tuple, recomputing the pairwise
+    difference matrix per call.  Kept verbatim as the ground truth the
+    vectorized :class:`CellBoundEvaluator` is differentially tested against
+    (``repro.testing``'s vectorized-vs-reference invariant).
     """
     if cell.dimension != problem.num_attributes:
         raise ValueError("cell dimension does not match the number of attributes")
@@ -182,13 +183,130 @@ def cell_error_bounds(problem: RankingProblem, cell: Cell) -> tuple[int, int]:
     return lower_total, upper_total
 
 
-def _bounds_chunk_task(payload: tuple) -> list[tuple[int, int]]:
-    """Evaluate :func:`cell_error_bounds` over one chunk of cells.
+def cell_error_bounds(problem: RankingProblem, cell: Cell) -> tuple[int, int]:
+    """Lower and upper bound of the position error over a cell.
 
-    Module-level so that process-pool executors can pickle it.
+    For every ranked tuple ``r`` and every other tuple ``s``, the score
+    difference ``w . (s - r)`` over the cell (intersected with the simplex) is
+    bounded by interval arithmetic; comparing the interval with ``eps1`` /
+    ``eps2`` classifies the indicator as certainly 1, certainly 0, or free.
+    The induced rank of ``r`` then lies in ``[1 + certain_ones,
+    1 + certain_ones + free]`` and its error contribution in the distance
+    between that interval and the given position.
+
+    Delegates to the scalar reference implementation; use
+    :class:`CellBoundEvaluator` / :func:`cell_error_bounds_many` when
+    classifying many cells against the same problem.
     """
-    problem, cells = payload
-    return [cell_error_bounds(problem, cell) for cell in cells]
+    return cell_error_bounds_reference(problem, cell)
+
+
+class CellBoundEvaluator:
+    """Batched cell-error bounds for one problem.
+
+    The indicator-hyperplane data -- the ``(n_pairs, m)`` stacked difference
+    matrix ``s - r`` over every (ranked tuple, other tuple) pair, split into
+    positive and negative parts, plus the simplex interval per pair -- is
+    precomputed once per problem.  Classifying cells then costs two matmuls
+    of the stacked pair matrix against the stacked ``(n_cells, m)`` corner
+    matrices plus vectorized comparisons, instead of a Python loop over
+    cells and ranked tuples that rebuilds the difference matrix every time.
+    """
+
+    def __init__(self, problem: RankingProblem) -> None:
+        self.problem = problem
+        matrix = problem.matrix
+        ranked = problem.top_k_indices()
+        n = problem.num_tuples
+        self._num_ranked = ranked.shape[0]
+        self._num_tuples = n
+        # diffs[r_idx, s, :] = matrix[s] - matrix[ranked[r_idx]]
+        diffs = matrix[None, :, :] - matrix[ranked][:, None, :]
+        pairs = diffs.reshape(self._num_ranked * n, problem.num_attributes)
+        self._positive = np.clip(pairs, 0.0, None)
+        self._negative = np.clip(pairs, None, 0.0)
+        self._simplex_low = pairs.min(axis=1)
+        self._simplex_high = pairs.max(axis=1)
+        # Flat index of the (r, r) self-pair per ranked tuple: a tuple never
+        # beats itself, mirroring the reference implementation's overrides.
+        self._self_index = np.arange(self._num_ranked) * n + np.asarray(ranked)
+        self._eps1 = problem.tolerances.eps1
+        self._eps2 = problem.tolerances.eps2
+        self._given = problem.ranking.positions[ranked].astype(int)
+
+    def bounds_many(self, cells: Sequence[Cell]) -> list[tuple[int, int]]:
+        """Bounds for many cells in one (chunked) matrix program."""
+        cells = list(cells)
+        if not cells:
+            return []
+        lowers = np.stack([cell.lower for cell in cells])
+        uppers = np.stack([cell.upper for cell in cells])
+        if lowers.shape[1] != self.problem.num_attributes:
+            raise ValueError("cell dimension does not match the number of attributes")
+        # Bound the transient (n_pairs, chunk) matrices to a few MB.
+        n_pairs = max(self._positive.shape[0], 1)
+        chunk = max(1, int(2_000_000 // n_pairs))
+        results: list[tuple[int, int]] = []
+        for start in range(0, len(cells), chunk):
+            results.extend(
+                self._bounds_chunk(
+                    lowers[start : start + chunk], uppers[start : start + chunk]
+                )
+            )
+        return results
+
+    def bounds(self, cell: Cell) -> tuple[int, int]:
+        """Bounds for a single cell (batched kernel, batch size one)."""
+        return self.bounds_many([cell])[0]
+
+    def _bounds_chunk(
+        self, lowers: np.ndarray, uppers: np.ndarray
+    ) -> list[tuple[int, int]]:
+        # Interval of w . diff over each box, intersected with the simplex
+        # interval: one matmul per corner matrix covers every (pair, cell).
+        box_low = self._positive @ lowers.T + self._negative @ uppers.T
+        box_high = self._positive @ uppers.T + self._negative @ lowers.T
+        low = np.maximum(box_low, self._simplex_low[:, None])
+        high = np.minimum(box_high, self._simplex_high[:, None])
+
+        certain_one = low >= self._eps1
+        certain_zero = high <= self._eps2
+        certain_one[self._self_index, :] = False
+        certain_zero[self._self_index, :] = True
+        free = ~(certain_one | certain_zero)
+
+        shape = (self._num_ranked, self._num_tuples, lowers.shape[0])
+        min_rank = 1 + certain_one.reshape(shape).sum(axis=1)
+        max_rank = min_rank + free.reshape(shape).sum(axis=1)
+        given = self._given[:, None]
+
+        below = given < min_rank
+        above = given > max_rank
+        lower_contrib = np.where(
+            below, min_rank - given, np.where(above, given - max_rank, 0)
+        )
+        inside = np.maximum(np.abs(given - min_rank), np.abs(max_rank - given))
+        upper_contrib = np.where(
+            below, max_rank - given, np.where(above, given - min_rank, inside)
+        )
+        lower_totals = lower_contrib.sum(axis=0)
+        upper_totals = upper_contrib.sum(axis=0)
+        return [
+            (int(lo), int(hi)) for lo, hi in zip(lower_totals, upper_totals)
+        ]
+
+
+def _bounds_chunk_task(payload: tuple) -> list[tuple[int, int]]:
+    """Evaluate error bounds over one chunk of cells.
+
+    Module-level so that process-pool executors can pickle it.  Each chunk
+    builds its own :class:`CellBoundEvaluator` (cheap relative to the chunk)
+    unless the scalar reference path was requested.
+    """
+    problem, cells, vectorized = payload
+    if not vectorized:
+        return [cell_error_bounds_reference(problem, cell) for cell in cells]
+    return CellBoundEvaluator(problem).bounds_many(cells)
 
 
 def cell_error_bounds_many(
@@ -196,6 +314,7 @@ def cell_error_bounds_many(
     cells: Sequence[Cell],
     executor=None,
     chunk_size: int = 64,
+    vectorized: bool = True,
 ) -> list[tuple[int, int]]:
     """Error bounds for many cells, optionally fanned out over an executor.
 
@@ -207,12 +326,18 @@ def cell_error_bounds_many(
         chunk_size: Cells per executor task; chunking keeps the per-task
             pickling overhead of the problem instance amortized over many
             cheap bound evaluations.
+        vectorized: Classify all cells against all indicator hyperplanes as
+            one matrix program (:class:`CellBoundEvaluator`).  ``False``
+            falls back to the scalar reference loop; the differential oracle
+            asserts the two agree on every scenario family.
     """
     cells = list(cells)
     if executor is None or len(cells) <= chunk_size:
-        return [cell_error_bounds(problem, cell) for cell in cells]
+        if vectorized:
+            return CellBoundEvaluator(problem).bounds_many(cells)
+        return [cell_error_bounds_reference(problem, cell) for cell in cells]
     payloads = [
-        (problem, cells[start : start + chunk_size])
+        (problem, cells[start : start + chunk_size], vectorized)
         for start in range(0, len(cells), chunk_size)
     ]
     chunked = executor.map_cells(_bounds_chunk_task, payloads)

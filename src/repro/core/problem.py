@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.constraints import ConstraintSet
 from repro.core.metrics import position_error
 from repro.core.ranking import UNRANKED, Ranking
-from repro.core.scoring import LinearScoringFunction, induced_ranks
+from repro.core.scoring import LinearScoringFunction, induced_ranks, induced_ranks_many
 from repro.data.relation import Relation
 
 __all__ = ["ToleranceSettings", "RankingProblem"]
@@ -125,6 +125,10 @@ class RankingProblem:
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.tolerances = tolerances if tolerances is not None else ToleranceSettings()
         self._matrix = relation.matrix(self.attributes)
+        # SHA-256 content digest, memoized by fingerprint() on first use and
+        # never invalidated -- problems are immutable by convention (every
+        # "mutation" returns a new instance).
+        self._fingerprint: str | None = None
         self._validate_constraints()
 
     def _validate_constraints(self) -> None:
@@ -198,6 +202,44 @@ class RankingProblem:
     def error_of(self, weights: np.ndarray) -> int:
         """Position-based error of a weight vector (Definition 3)."""
         return position_error(self.ranking, self.induced_positions(weights))
+
+    def errors_of_many(self, weights_matrix: np.ndarray) -> np.ndarray:
+        """Position-based error of every row of a ``(num_candidates, m)`` matrix.
+
+        One matrix program instead of ``num_candidates`` Python-level
+        evaluations: a single score matmul, row-batched tie-tolerant ranking
+        (:func:`~repro.core.scoring.induced_ranks_many`), and a vectorized
+        error reduction.  Used by the matrix SYM-GD multi-seed path and the
+        sampling baseline-style sweeps.
+        """
+        weights_matrix = np.asarray(weights_matrix, dtype=float)
+        if weights_matrix.ndim != 2 or weights_matrix.shape[1] != self.num_attributes:
+            raise ValueError(
+                f"weights matrix must have shape (num_candidates, "
+                f"{self.num_attributes}), got {weights_matrix.shape}"
+            )
+        scores = weights_matrix @ self._matrix.T
+        ranks = induced_ranks_many(scores, self.tolerances.tie_eps)
+        positions = self.ranking.positions
+        ranked = np.where(positions != UNRANKED)[0]
+        given = positions[ranked]
+        return np.sum(np.abs(ranks[:, ranked] - given[None, :]), axis=1).astype(int)
+
+    def fingerprint(self) -> str:
+        """Memoized SHA-256 content digest of this problem instance.
+
+        Computed once per object (the matrix hash dominates the cost of a
+        cache lookup otherwise) and never invalidated: the instance is
+        immutable by convention.  Two independently built, semantically
+        identical problems share the same digest -- see
+        :func:`repro.engine.fingerprint.fingerprint_problem`, which this
+        memoizes.
+        """
+        if self._fingerprint is None:
+            from repro.engine.fingerprint import compute_problem_digest
+
+            self._fingerprint = compute_problem_digest(self)
+        return self._fingerprint
 
     def weights_feasible(self, weights: np.ndarray, tol: float = 1e-7) -> bool:
         """Check the weight constraints (simplex constraints included)."""

@@ -153,6 +153,8 @@ class RankHow:
             # With the plain (integer-valued) objective a gap below 1 already
             # proves optimality; weighted objectives need a tight gap.
             gap_tolerance=gap_tolerance,
+            warm_start_lp=bool(options.extra.get("warm_start_lp", True)),
+            node_presolve=bool(options.extra.get("node_presolve", True)),
         )
         solver = BranchAndBoundSolver(solver_options)
         solution = solver.solve(formulation.model)
@@ -213,6 +215,8 @@ class RankHow:
                 "indicators": formulation.num_indicator_variables,
                 "eliminated": formulation.num_eliminated_indicators,
                 "milp_objective": float(objective),
+                "lp_iterations": int(solution.lp_iterations),
+                "warm_started_nodes": int(solution.warm_started_nodes),
             },
         )
 

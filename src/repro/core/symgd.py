@@ -23,9 +23,11 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.cells import cell_around
+from repro.core.metrics import position_error
 from repro.core.problem import RankingProblem
 from repro.core.rankhow import RankHow, RankHowOptions
 from repro.core.result import SynthesisResult
+from repro.core.scoring import induced_ranks
 from repro.core.seeds import get_seed_strategy
 from repro.data.rng import as_generator
 
@@ -100,6 +102,147 @@ class SymGDOptions:
         )
 
 
+class _Descent:
+    """One seed's SYM-GD descent, advanced one cell solve at a time.
+
+    The descent logic of Algorithms 1 and 2 lives here as an explicit state
+    machine so that the serial :meth:`SymGD.solve` path and the lockstep
+    matrix multi-seed path run literally the same transitions -- parity
+    between the two is structural, not coincidental.
+    """
+
+    def __init__(
+        self,
+        options: SymGDOptions,
+        problem: RankingProblem,
+        seed: np.ndarray,
+        seed_error: int,
+    ) -> None:
+        self.options = options
+        self.problem = problem
+        self.seed = np.asarray(seed, dtype=float).copy()
+        self.current = self.seed.copy()
+        self.current_error = int(seed_error)
+        self.best_weights = self.current.copy()
+        self.best_error = int(seed_error)
+        self.cell_size = options.cell_size
+        self.iterations = 0
+        self.total_nodes = 0
+        self.total_lp_iterations = 0
+        self.trajectory: list[tuple[float, int]] = [
+            (self.cell_size, int(seed_error))
+        ]
+        self.elapsed = 0.0
+        self.finished = False
+        self._final_solve_pending = False
+
+    def active(self, out_of_time: bool) -> bool:
+        """Whether another :meth:`step` may run."""
+        return (
+            not self.finished
+            and self.iterations < self.options.max_iterations
+            and not out_of_time
+        )
+
+    def _absorb(self, result: SynthesisResult) -> None:
+        self.total_nodes += result.nodes
+        self.total_lp_iterations += int(result.diagnostics.get("lp_iterations", 0))
+
+    def step(self, solver: RankHow, remaining: float | None) -> None:
+        """One cell solve plus the resulting state transition."""
+        options = self.options
+        if self._final_solve_pending:
+            # The cell covers (almost) the whole simplex; one final solve at
+            # this size is the global problem -- stop after it.
+            self.iterations += 1
+            cell = cell_around(self.current, self.cell_size)
+            result = solver.solve(
+                self.problem, cell_bounds=cell.bounds(), warm_start=self.current
+            )
+            self._absorb(result)
+            if result.error >= 0 and result.error < self.best_error:
+                self.best_error = int(result.error)
+                self.best_weights = result.weights.copy()
+            self.finished = True
+            return
+
+        self.iterations += 1
+        cell = cell_around(self.current, self.cell_size)
+        if remaining is not None:
+            # Clone the configured solver options wholesale (error_weights,
+            # extra escape hatches included) and override only the budget.
+            local_solver = RankHow(
+                replace(
+                    options.solver_options,
+                    time_limit=max(remaining, 0.01),
+                    verify=False,
+                )
+            )
+        else:
+            local_solver = solver
+        result = local_solver.solve(
+            self.problem, cell_bounds=cell.bounds(), warm_start=self.current
+        )
+        self._absorb(result)
+
+        stuck = False
+        if result.error < 0 or not np.all(np.isfinite(result.weights)):
+            # Local model infeasible (seed violates the constraints in this
+            # cell); grow the cell or stop.
+            stuck = True
+        else:
+            new_error = int(result.error)
+            if new_error < self.best_error:
+                self.best_error = new_error
+                self.best_weights = result.weights.copy()
+            if new_error >= self.current_error:
+                stuck = True
+                # Even without improvement, adopt the local optimum as the
+                # new center when it matches the current error: it lies at
+                # the boundary of the explored region and re-centering
+                # matches the paper's "cell shifts accordingly".
+                if new_error == self.current_error:
+                    self.current = result.weights.copy()
+            else:
+                self.current = result.weights.copy()
+                self.current_error = new_error
+                self.trajectory.append((self.cell_size, new_error))
+                if new_error == 0:
+                    stuck = True
+        if not stuck:
+            return
+        if not options.adaptive or self.current_error == 0:
+            self.finished = True
+            return
+        self.cell_size = min(self.cell_size * 2.0, options.max_cell_size)
+        self.trajectory.append((self.cell_size, int(self.current_error)))
+        if self.cell_size >= options.max_cell_size:
+            self._final_solve_pending = True
+
+    def result(self, elapsed: float) -> SynthesisResult:
+        """Package the descent's best point as a :class:`SynthesisResult`."""
+        options = self.options
+        return SynthesisResult(
+            weights=self.best_weights,
+            attributes=list(self.problem.attributes),
+            error=int(self.best_error),
+            objective=float(self.best_error),
+            optimal=False,  # SYM-GD is a heuristic; never claims optimality
+            method="symgd-adaptive" if options.adaptive else "symgd",
+            solve_time=elapsed,
+            nodes=self.total_nodes,
+            iterations=self.iterations,
+            diagnostics={
+                "k": self.problem.k,
+                "seed": self.seed.copy(),
+                "seed_error": int(self.trajectory[0][1]),
+                "final_cell_size": self.cell_size,
+                "trajectory": self.trajectory,
+                "lp_iterations": self.total_lp_iterations,
+            },
+        )
+
+
 class SymGD:
     """Symbolic gradient descent over the weight simplex."""
 
@@ -112,16 +255,8 @@ class SymGD:
         start = time.perf_counter()
 
         seed = self._seed(problem)
-        current = np.asarray(seed, dtype=float).copy()
-        current_error = problem.error_of(current)
-        best_weights = current.copy()
-        best_error = current_error
-
+        descent = _Descent(options, problem, seed, _seed_error(problem, seed))
         solver = RankHow(options.solver_options)
-        iterations = 0
-        total_nodes = 0
-        cell_size = options.cell_size
-        trajectory: list[tuple[float, int]] = [(cell_size, int(current_error))]
 
         def time_left() -> float | None:
             if options.time_limit is None:
@@ -132,94 +267,10 @@ class SymGD:
             remaining = time_left()
             return remaining is not None and remaining <= 0
 
-        while iterations < options.max_iterations and not out_of_time():
-            stuck = False
-            # Inner loop: descend at the current cell size until no improvement.
-            while iterations < options.max_iterations and not out_of_time():
-                iterations += 1
-                cell = cell_around(current, cell_size)
-                remaining = time_left()
-                local_options = options.solver_options
-                if remaining is not None:
-                    local_options = RankHowOptions(
-                        time_limit=max(remaining, 0.01),
-                        node_limit=local_options.node_limit,
-                        lp_method=local_options.lp_method,
-                        eliminate_dominated=local_options.eliminate_dominated,
-                        verify=False,
-                        search=local_options.search,
-                    )
-                    local_solver = RankHow(local_options)
-                else:
-                    local_solver = solver
-                result = local_solver.solve(
-                    problem, cell_bounds=cell.bounds(), warm_start=current
-                )
-                total_nodes += result.nodes
-                if result.error < 0 or not np.all(np.isfinite(result.weights)):
-                    # Local model infeasible (seed violates the constraints in
-                    # this cell); grow the cell or stop.
-                    stuck = True
-                    break
-                new_error = result.error
-                if new_error < best_error:
-                    best_error = new_error
-                    best_weights = result.weights.copy()
-                if new_error >= current_error:
-                    stuck = True
-                    # Even without improvement, adopt the local optimum as the
-                    # new center when it matches the current error: it lies at
-                    # the boundary of the explored region and re-centering
-                    # matches the paper's "cell shifts accordingly".
-                    if new_error == current_error:
-                        current = result.weights.copy()
-                    break
-                current = result.weights.copy()
-                current_error = new_error
-                trajectory.append((cell_size, int(current_error)))
-                if current_error == 0:
-                    stuck = True
-                    break
+        while descent.active(out_of_time()):
+            descent.step(solver, time_left())
 
-            if not options.adaptive or current_error == 0 or out_of_time():
-                break
-            if stuck:
-                cell_size = min(cell_size * 2.0, options.max_cell_size)
-                trajectory.append((cell_size, int(current_error)))
-                if cell_size >= options.max_cell_size:
-                    # The cell covers (almost) the whole simplex; one final
-                    # solve at this size is the global problem -- stop after it.
-                    if iterations < options.max_iterations and not out_of_time():
-                        iterations += 1
-                        cell = cell_around(current, cell_size)
-                        result = solver.solve(
-                            problem, cell_bounds=cell.bounds(), warm_start=current
-                        )
-                        total_nodes += result.nodes
-                        if result.error >= 0 and result.error < best_error:
-                            best_error = result.error
-                            best_weights = result.weights.copy()
-                    break
-
-        elapsed = time.perf_counter() - start
-        return SynthesisResult(
-            weights=best_weights,
-            attributes=list(problem.attributes),
-            error=int(best_error),
-            objective=float(best_error),
-            optimal=False,  # SYM-GD is a heuristic; it never claims global optimality
-            method="symgd-adaptive" if options.adaptive else "symgd",
-            solve_time=elapsed,
-            nodes=total_nodes,
-            iterations=iterations,
-            diagnostics={
-                "k": problem.k,
-                "seed": np.asarray(seed, dtype=float),
-                "seed_error": int(problem.error_of(seed)),
-                "final_cell_size": cell_size,
-                "trajectory": trajectory,
-            },
-        )
+        return descent.result(time.perf_counter() - start)
 
     def solve_multi_seed(
         self,
@@ -227,6 +278,7 @@ class SymGD:
         seeds: list[np.ndarray] | None = None,
         num_seeds: int = 4,
         executor=None,
+        vectorized: bool = True,
     ) -> SynthesisResult:
         """Run independent descents from several seed points; keep the best.
 
@@ -241,10 +293,17 @@ class SymGD:
                 :func:`default_seed_points` with ``num_seeds`` points.
             num_seeds: Number of generated seeds when ``seeds`` is ``None``.
             executor: Anything exposing ``map_cells(fn, items)`` (see
-                :mod:`repro.engine.executor`); ``None`` runs serially.  The
+                :mod:`repro.engine.executor`); ``None`` runs in-process.  The
                 merged result is identical for every backend because each
                 descent is deterministic and the merge prefers the earliest
                 seed on ties.
+            vectorized: When no executor is given, drive all descents in
+                lockstep as one ``(num_seeds, m)`` weight matrix -- seed
+                errors come from a single batched score/rank/error program
+                and finished rows drop out via per-row convergence masking.
+                ``False`` keeps the historical one-full-descent-per-seed
+                reference loop; the differential oracle asserts both paths
+                produce identical per-seed results.
         """
         start = time.perf_counter()
         if seeds is None:
@@ -253,11 +312,16 @@ class SymGD:
             )
         if not seeds:
             raise ValueError("solve_multi_seed needs at least one seed point")
-        payloads = [(self.options, problem, np.asarray(s, dtype=float)) for s in seeds]
-        if executor is None:
-            results = [_solve_from_seed(payload) for payload in payloads]
+        if executor is None and vectorized:
+            results = self._solve_seeds_lockstep(problem, seeds, start)
         else:
-            results = list(executor.map_cells(_solve_from_seed, payloads))
+            payloads = [
+                (self.options, problem, np.asarray(s, dtype=float)) for s in seeds
+            ]
+            if executor is None:
+                results = [_solve_from_seed(payload) for payload in payloads]
+            else:
+                results = list(executor.map_cells(_solve_from_seed, payloads))
         best = min(enumerate(results), key=lambda pair: (pair[1].error, pair[0]))[1]
         merged = replace(
             best,
@@ -276,18 +340,85 @@ class SymGD:
         )
         return merged
 
+    def _solve_seeds_lockstep(
+        self,
+        problem: RankingProblem,
+        seeds: list[np.ndarray],
+        start: float,
+    ) -> list[SynthesisResult]:
+        """All seeds as one weight matrix, advanced round-robin.
+
+        Seed normalization and error evaluation happen for the whole
+        ``(num_seeds, m)`` matrix at once; each round then performs one cell
+        solve per still-active descent.  Rows whose descent finished are
+        masked out, so multi-seed overhead stops scaling with the seed count
+        in Python-level work.  The per-descent state machine is the same
+        :class:`_Descent` the serial path runs, so each seed performs the
+        identical sequence of cell solves it would in its own full descent
+        (time limits permitting -- the budget is measured from the shared
+        start, exactly like the serial loop measures from its own start).
+        """
+        options = self.options
+        matrix = np.vstack(
+            [
+                _normalize_seed_point(seed, problem.num_attributes)
+                for seed in seeds
+            ]
+        )
+        seed_errors = problem.errors_of_many(matrix)
+        descents = [
+            _Descent(options, problem, matrix[i], int(seed_errors[i]))
+            for i in range(matrix.shape[0])
+        ]
+        solver = RankHow(options.solver_options)
+
+        def time_left() -> float | None:
+            if options.time_limit is None:
+                return None
+            return options.time_limit - (time.perf_counter() - start)
+
+        while True:
+            remaining = time_left()
+            out_of_time = remaining is not None and remaining <= 0
+            active = [d for d in descents if d.active(out_of_time)]
+            if not active:
+                break
+            for descent in active:
+                remaining = time_left()
+                if remaining is not None and remaining <= 0:
+                    break
+                step_start = time.perf_counter()
+                descent.step(solver, remaining)
+                descent.elapsed += time.perf_counter() - step_start
+        return [descent.result(descent.elapsed) for descent in descents]
+
     def _seed(self, problem: RankingProblem) -> np.ndarray:
         options = self.options
         if options.seed_point is not None:
-            seed = np.asarray(options.seed_point, dtype=float).ravel()
-            if seed.shape[0] != problem.num_attributes:
-                raise ValueError("seed_point length does not match the attribute count")
-            total = float(np.clip(seed, 0.0, None).sum())
-            if total <= 0:
-                raise ValueError("seed_point must have positive total weight")
-            return np.clip(seed, 0.0, None) / total
+            return _normalize_seed_point(options.seed_point, problem.num_attributes)
         strategy = get_seed_strategy(options.seed_strategy)
         return strategy(problem)
+
+
+def _normalize_seed_point(seed: np.ndarray, num_attributes: int) -> np.ndarray:
+    """Validate and project an explicit seed point onto the simplex."""
+    seed = np.asarray(seed, dtype=float).ravel()
+    if seed.shape[0] != num_attributes:
+        raise ValueError("seed_point length does not match the attribute count")
+    total = float(np.clip(seed, 0.0, None).sum())
+    if total <= 0:
+        raise ValueError("seed_point must have positive total weight")
+    return np.clip(seed, 0.0, None) / total
+
+
+def _seed_error(problem: RankingProblem, seed: np.ndarray) -> int:
+    """Seed error with the score sort computed once and reused."""
+    scores = problem.scores(seed)
+    sorted_scores = np.sort(scores)
+    ranks = induced_ranks(
+        scores, problem.tolerances.tie_eps, sorted_scores=sorted_scores
+    )
+    return position_error(problem.ranking, ranks)
 
 
 def _solve_from_seed(payload: tuple) -> SynthesisResult:

@@ -163,9 +163,21 @@ class SolveEngine:
         options: SymGDOptions | None = None,
         num_seeds: int = 4,
         seeds=None,
+        vectorized: bool = False,
     ) -> SynthesisResult:
-        """Parallel multi-seed SYM-GD on this engine's executor."""
+        """Parallel multi-seed SYM-GD on this engine's executor.
+
+        ``vectorized=True`` bypasses the executor and drives all seeds
+        in-process as one lockstep weight matrix (see
+        :meth:`SymGD.solve_multi_seed`) -- the right choice on single-core
+        hosts where a pool only adds overhead; the merged result is
+        identical either way.
+        """
         solver = SymGD(options)
+        if vectorized:
+            return solver.solve_multi_seed(
+                problem, seeds=seeds, num_seeds=num_seeds, vectorized=True
+            )
         return solver.solve_multi_seed(
             problem, seeds=seeds, num_seeds=num_seeds, executor=self.executor
         )
@@ -173,6 +185,19 @@ class SolveEngine:
     def map_cells(self, fn, items) -> list:
         """Raw ordered map on the executor (for custom per-cell sweeps)."""
         return self.executor.map_cells(fn, items)
+
+    def cell_error_bounds(self, problem: RankingProblem, cells, vectorized: bool = True):
+        """Batched cell-error bounds fanned out over this engine's executor.
+
+        Thin wrapper over :func:`repro.core.cells.cell_error_bounds_many` so
+        service-side sweeps (grid seeding, cell heat maps) get the batched
+        classification and the executor fan-out in one call.
+        """
+        from repro.core.cells import cell_error_bounds_many
+
+        return cell_error_bounds_many(
+            problem, cells, executor=self.executor, vectorized=vectorized
+        )
 
     # -- lifecycle / telemetry ------------------------------------------------
 

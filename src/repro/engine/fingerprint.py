@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import weakref
 
 import numpy as np
 
@@ -27,6 +26,7 @@ from repro.core.result import jsonable
 
 __all__ = [
     "canonical_json",
+    "compute_problem_digest",
     "fingerprint_problem",
     "fingerprint_cell",
     "fingerprint_options",
@@ -47,27 +47,14 @@ def _array_bytes(array: np.ndarray, dtype) -> bytes:
     return repr(array.shape).encode() + array.tobytes()
 
 
-#: Per-object memo of problem digests.  RankingProblem is immutable by
-#: convention, so hashing its matrix once per object is safe; the weak keys
-#: let problems be garbage-collected normally.
-_problem_digests: "weakref.WeakKeyDictionary[RankingProblem, str]" = (
-    weakref.WeakKeyDictionary()
-)
+def compute_problem_digest(problem: RankingProblem) -> str:
+    """Compute the raw SHA-256 digest of a problem (no memoization).
 
-
-def fingerprint_problem(problem: RankingProblem) -> str:
-    """Stable digest of everything that influences a solve on this problem.
-
-    Non-ranking columns (player names, institution names) are excluded: they
-    cannot change any solver's output, and excluding them lets semantically
-    identical problems share cache entries.  The digest is memoized per
-    problem object -- the service front-end fingerprints every incoming
-    request on the event loop, so repeat submissions of the same problem
-    must not re-hash the full matrix.
+    The memo lives on the :class:`RankingProblem` instance itself (see
+    :meth:`RankingProblem.fingerprint`): computed once, invalidated never --
+    the instance is immutable by convention, and an instance attribute beats
+    a side-table both on lookup cost and on lifetime management.
     """
-    memoized = _problem_digests.get(problem)
-    if memoized is not None:
-        return memoized
     h = hashlib.sha256()
     h.update(b"matrix:")
     h.update(_array_bytes(problem.matrix, np.float64))
@@ -79,9 +66,20 @@ def fingerprint_problem(problem: RankingProblem) -> str:
     h.update(canonical_json(problem.constraints.to_dict()).encode())
     h.update(b"tolerances:")
     h.update(canonical_json(problem.tolerances.to_dict()).encode())
-    digest = h.hexdigest()
-    _problem_digests[problem] = digest
-    return digest
+    return h.hexdigest()
+
+
+def fingerprint_problem(problem: RankingProblem) -> str:
+    """Stable digest of everything that influences a solve on this problem.
+
+    Non-ranking columns (player names, institution names) are excluded: they
+    cannot change any solver's output, and excluding them lets semantically
+    identical problems share cache entries.  The digest is memoized on the
+    problem object -- the service front-end fingerprints every incoming
+    request on the event loop, so repeat submissions of the same problem
+    must not re-hash the full matrix.
+    """
+    return problem.fingerprint()
 
 
 def fingerprint_cell(cell: Cell) -> str:

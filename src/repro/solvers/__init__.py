@@ -18,6 +18,7 @@ from repro.solvers.lp import (
     LinearProgram,
     LPSolution,
     LPStatus,
+    PreparedStandardForm,
 )
 from repro.solvers.milp import (
     IndicatorConstraint,
@@ -32,6 +33,7 @@ __all__ = [
     "LinearProgram",
     "LPSolution",
     "LPStatus",
+    "PreparedStandardForm",
     "IndicatorConstraint",
     "MILPModel",
     "MILPSolution",

@@ -15,6 +15,14 @@ features that mirror what the paper credits modern MILP solvers for
   produces near-optimal incumbents at the root node.
 * **Pseudo-cost-free reliable branching** -- branching on the most fractional
   binary with ties broken by objective coefficient.
+* **Warm-started node LPs** -- with the built-in simplex backend the standard
+  form is prepared once (only the right-hand side changes across nodes) and
+  each child resumes from its parent's optimal basis, skipping simplex
+  phase 1 whenever the basis stays feasible after the bound change; any
+  defect falls back to the cold two-phase solve automatically.
+* **Per-node bound tightening** -- implied-bound propagation over the big-M
+  rows plus an incumbent objective cutoff fixes additional binaries after
+  each branching decision and prunes infeasible nodes before their LP solve.
 
 The solver is deterministic given the model and options.
 """
@@ -29,8 +37,9 @@ from typing import Callable
 
 import numpy as np
 
-from repro.solvers.lp import LPStatus
+from repro.solvers.lp import LPStatus, PreparedStandardForm
 from repro.solvers.milp import MILPModel, MILPSolution, MILPStatus
+from repro.solvers.presolve import BoundTightener
 
 __all__ = ["SolverOptions", "BranchAndBoundSolver"]
 
@@ -56,6 +65,12 @@ class SolverOptions:
             incumbent (a warm start).
         branching: ``"most_fractional"`` or ``"pseudo_objective"``.
         search: ``"best_first"`` or ``"depth_first"``.
+        warm_start_lp: Reuse the parent node's optimal basis for the child
+            LP solve (built-in simplex backend only; phase 1 is skipped when
+            the parent basis stays feasible after the bound change, with
+            automatic fallback to the cold two-phase path).
+        node_presolve: Run implied-bound tightening per node before the LP
+            solve (fixes implied binaries, prunes infeasible nodes early).
     """
 
     time_limit: float | None = None
@@ -67,6 +82,8 @@ class SolverOptions:
     initial_incumbent: np.ndarray | None = None
     branching: str = "most_fractional"
     search: str = "best_first"
+    warm_start_lp: bool = True
+    node_presolve: bool = True
 
 
 @dataclass(order=True)
@@ -75,6 +92,7 @@ class _Node:
     sequence: int
     fixings: dict[int, int] = field(compare=False)
     depth: int = field(compare=False, default=0)
+    basis: np.ndarray | None = field(compare=False, default=None)
 
 
 class BranchAndBoundSolver:
@@ -92,10 +110,36 @@ class BranchAndBoundSolver:
         base_lower = relaxation.lower_bounds.copy()
         base_upper = relaxation.upper_bounds.copy()
 
+        # Node LPs differ only in bounds: prepare the standard form once so
+        # the simplex backend skips the per-node matrix reduction and can
+        # warm-start from the parent basis.
+        prepared: PreparedStandardForm | None = None
+        if options.lp_method == "simplex":
+            try:
+                prepared = PreparedStandardForm(relaxation)
+            except ValueError:
+                prepared = None
+
+        tightener: BoundTightener | None = None
+        if options.node_presolve and binaries and relaxation.constraints:
+            rows = np.vstack(
+                [con.coefficients for con in relaxation.constraints]
+            )
+            tightener = BoundTightener(
+                rows,
+                [con.sense for con in relaxation.constraints],
+                np.asarray([con.rhs for con in relaxation.constraints], dtype=float),
+                candidates=np.asarray(binaries, dtype=int),
+                integral=True,
+                objective_row=relaxation.objective,
+            )
+
         incumbent_x: np.ndarray | None = None
         incumbent_obj = float("inf")
         best_bound = float("-inf")
         nodes_processed = 0
+        total_lp_iterations = 0
+        warm_started_nodes = 0
         counter = itertools.count()
 
         def time_exceeded() -> bool:
@@ -132,25 +176,53 @@ class BranchAndBoundSolver:
             nodes_processed += 1
 
             # Apply node fixings to the relaxation bounds.
-            relaxation.lower_bounds = base_lower.copy()
-            relaxation.upper_bounds = base_upper.copy()
+            lower = base_lower.copy()
+            upper = base_upper.copy()
             for idx, value in node.fixings.items():
-                relaxation.lower_bounds[idx] = float(value)
-                relaxation.upper_bounds[idx] = float(value)
+                lower[idx] = float(value)
+                upper[idx] = float(value)
 
-            lp_solution = relaxation.solve(method=options.lp_method)
+            if tightener is not None:
+                cutoff = (
+                    incumbent_obj - options.gap_tolerance
+                    if np.isfinite(incumbent_obj)
+                    else None
+                )
+                lower, upper, feasible = tightener.tighten(lower, upper, cutoff=cutoff)
+                if not feasible:
+                    continue
+
+            relaxation.lower_bounds = lower
+            relaxation.upper_bounds = upper
+
+            if prepared is not None and prepared.matches(lower, upper):
+                warm_basis = node.basis if options.warm_start_lp else None
+                lp_solution = prepared.solve(lower, upper, initial_basis=warm_basis)
+            else:
+                lp_solution = relaxation.solve(method=options.lp_method)
+            total_lp_iterations += lp_solution.iterations
             if lp_solution.status is LPStatus.INFEASIBLE:
                 continue
             if lp_solution.status is LPStatus.UNBOUNDED:
                 return MILPSolution(
-                    MILPStatus.UNBOUNDED, np.zeros(0), float("-inf"), nodes=nodes_processed
+                    MILPStatus.UNBOUNDED,
+                    np.zeros(0),
+                    float("-inf"),
+                    nodes=nodes_processed,
+                    lp_iterations=total_lp_iterations,
+                    warm_started_nodes=warm_started_nodes,
                 )
             if not lp_solution.is_optimal:
                 # Numerical trouble on this node; fall back to the built-in
                 # simplex once before giving up on the node.
                 lp_solution = relaxation.solve(method="simplex")
+                total_lp_iterations += lp_solution.iterations
                 if not lp_solution.is_optimal:
                     continue
+            # Counted only now: a warm attempt that died at the iteration
+            # limit and was re-solved cold must not inflate the statistic.
+            if lp_solution.warm_started:
+                warm_started_nodes += 1
 
             node_bound = lp_solution.objective
             if not root_bound_known:
@@ -190,7 +262,13 @@ class BranchAndBoundSolver:
             for value in children:
                 fixings = dict(node.fixings)
                 fixings[branch_var] = value
-                child = _Node(node_bound, next(counter), fixings, node.depth + 1)
+                child = _Node(
+                    node_bound,
+                    next(counter),
+                    fixings,
+                    node.depth + 1,
+                    basis=lp_solution.basis,
+                )
                 if options.search == "best_first":
                     heapq.heappush(heap, child)
                 else:
@@ -211,14 +289,29 @@ class BranchAndBoundSolver:
                 if nodes_processed < options.node_limit and not time_exceeded() and not open_nodes
                 else MILPStatus.NO_SOLUTION
             )
-            return MILPSolution(status, np.zeros(0), float("inf"), best_bound, nodes_processed)
+            return MILPSolution(
+                status,
+                np.zeros(0),
+                float("inf"),
+                best_bound,
+                nodes_processed,
+                lp_iterations=total_lp_iterations,
+                warm_started_nodes=warm_started_nodes,
+            )
 
         exhausted = not open_nodes
         gap = abs(incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj))
         proved = exhausted or incumbent_obj - best_bound <= options.gap_tolerance
         status = MILPStatus.OPTIMAL if proved else MILPStatus.FEASIBLE
         return MILPSolution(
-            status, incumbent_x, incumbent_obj, best_bound, nodes_processed, gap
+            status,
+            incumbent_x,
+            incumbent_obj,
+            best_bound,
+            nodes_processed,
+            gap,
+            lp_iterations=total_lp_iterations,
+            warm_started_nodes=warm_started_nodes,
         )
 
     # -- helpers -----------------------------------------------------------------

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.solvers.simplex import SimplexStatus, solve_standard_form
 
-__all__ = ["LPStatus", "LPSolution", "LinearProgram"]
+__all__ = ["LPStatus", "LPSolution", "LinearProgram", "PreparedStandardForm"]
 
 _INF = float("inf")
 
@@ -48,6 +48,10 @@ class LPSolution:
         objective: Optimal objective value (``nan`` when not optimal).
         iterations: Backend iteration count when available.
         backend: Name of the backend that produced the solution.
+        basis: Optimal standard-form basis when the built-in simplex solved
+            the program; reusable as a warm start for a related solve.
+        warm_started: Whether the backend actually resumed from a supplied
+            warm-start basis.
     """
 
     status: LPStatus
@@ -55,6 +59,8 @@ class LPSolution:
     objective: float
     iterations: int = 0
     backend: str = ""
+    basis: np.ndarray | None = None
+    warm_started: bool = False
 
     @property
     def is_optimal(self) -> bool:
@@ -101,6 +107,7 @@ class LinearProgram:
             self.lower_bounds = np.zeros(self.num_vars)
         if self.upper_bounds is None:
             self.upper_bounds = np.full(self.num_vars, _INF)
+        self._matrix_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- model construction -------------------------------------------------
 
@@ -153,6 +160,7 @@ class LinearProgram:
         if row.shape[0] != self.num_vars:
             raise ValueError("constraint length does not match num_vars")
         self.constraints.append(_Constraint(row.copy(), float(rhs), sense))
+        self._matrix_cache.clear()
         return len(self.constraints) - 1
 
     def copy(self) -> "LinearProgram":
@@ -170,7 +178,15 @@ class LinearProgram:
     # -- matrix views --------------------------------------------------------
 
     def inequality_matrix(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(A_ub, b_ub)`` with all inequalities as ``<=`` rows."""
+        """Return ``(A_ub, b_ub)`` with all inequalities as ``<=`` rows.
+
+        The stacked matrices are cached until the next :meth:`add_constraint`:
+        branch-and-bound re-solves the same program once per node, and
+        re-stacking hundreds of rows per node is pure overhead.
+        """
+        cached = self._matrix_cache.get("ub")
+        if cached is not None:
+            return cached
         rows, rhs = [], []
         for con in self.constraints:
             if con.sense == "<=":
@@ -180,36 +196,50 @@ class LinearProgram:
                 rows.append(-con.coefficients)
                 rhs.append(-con.rhs)
         if not rows:
-            return np.zeros((0, self.num_vars)), np.zeros(0)
-        return np.vstack(rows), np.asarray(rhs, dtype=float)
+            result = np.zeros((0, self.num_vars)), np.zeros(0)
+        else:
+            result = np.vstack(rows), np.asarray(rhs, dtype=float)
+        self._matrix_cache["ub"] = result
+        return result
 
     def equality_matrix(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(A_eq, b_eq)``."""
+        """Return ``(A_eq, b_eq)`` (cached, see :meth:`inequality_matrix`)."""
+        cached = self._matrix_cache.get("eq")
+        if cached is not None:
+            return cached
         rows = [c.coefficients for c in self.constraints if c.sense == "=="]
         rhs = [c.rhs for c in self.constraints if c.sense == "=="]
         if not rows:
-            return np.zeros((0, self.num_vars)), np.zeros(0)
-        return np.vstack(rows), np.asarray(rhs, dtype=float)
+            result = np.zeros((0, self.num_vars)), np.zeros(0)
+        else:
+            result = np.vstack(rows), np.asarray(rhs, dtype=float)
+        self._matrix_cache["eq"] = result
+        return result
 
     # -- solving -------------------------------------------------------------
 
-    def solve(self, method: str = "scipy") -> LPSolution:
+    def solve(
+        self, method: str = "scipy", warm_start_basis: np.ndarray | None = None
+    ) -> LPSolution:
         """Solve the LP.
 
         Args:
             method: ``"scipy"`` (HiGHS), ``"simplex"`` (built-in), or
                 ``"auto"`` which tries SciPy and falls back to the built-in
                 simplex when SciPy reports a numerical error.
+            warm_start_basis: Optional standard-form basis from a related
+                solve (only the built-in simplex consumes it; the SciPy
+                backend ignores it).
         """
         if method == "auto":
             solution = self._solve_scipy()
             if solution.status is LPStatus.ERROR:
-                return self._solve_simplex()
+                return self._solve_simplex(warm_start_basis)
             return solution
         if method == "scipy":
             return self._solve_scipy()
         if method == "simplex":
-            return self._solve_simplex()
+            return self._solve_simplex(warm_start_basis)
         raise ValueError(f"unknown LP method: {method!r}")
 
     def _solve_scipy(self) -> LPSolution:
@@ -253,9 +283,13 @@ class LinearProgram:
             LPStatus.ERROR, np.zeros(0), float("nan"), backend="scipy-highs"
         )
 
-    def _solve_simplex(self) -> LPSolution:
+    def _solve_simplex(
+        self, warm_start_basis: np.ndarray | None = None
+    ) -> LPSolution:
         c_std, a_std, b_std, recover = self._to_standard_form()
-        result = solve_standard_form(c_std, a_std, b_std)
+        result = solve_standard_form(
+            c_std, a_std, b_std, initial_basis=warm_start_basis
+        )
         if result.status is SimplexStatus.OPTIMAL:
             x = recover(result.x)
             return LPSolution(
@@ -264,6 +298,8 @@ class LinearProgram:
                 float(self.objective @ x),
                 iterations=result.iterations,
                 backend="simplex",
+                basis=result.basis,
+                warm_started=result.warm_started,
             )
         mapping = {
             SimplexStatus.INFEASIBLE: LPStatus.INFEASIBLE,
@@ -276,6 +312,7 @@ class LinearProgram:
             float("nan"),
             iterations=result.iterations,
             backend="simplex",
+            warm_started=result.warm_started,
         )
 
     def _to_standard_form(self):
@@ -383,3 +420,120 @@ class LinearProgram:
             return x
 
         return c_std, a_std, b_std, recover
+
+
+class PreparedStandardForm:
+    """Reusable standard-form image of a :class:`LinearProgram`.
+
+    Branch-and-bound re-solves the same LP hundreds of times with nothing but
+    per-node *bound* changes.  For programs where every variable has a finite
+    lower bound (true of every MILP relaxation this package builds: weights,
+    errors and binaries are all boxed), the standard-form constraint matrix
+    and objective do not depend on the bound values at all -- only the
+    right-hand side does.  This class builds the matrix once and recomputes
+    just the right-hand side per solve, and it accepts a warm-start basis
+    from a previous solve so child nodes can skip simplex phase 1 entirely.
+
+    The column layout matches :meth:`LinearProgram._to_standard_form` for the
+    all-finite-lower-bound case: one shifted column per variable, followed by
+    one slack column per inequality row (constraints first, then the
+    upper-bound rows in variable order).
+    """
+
+    def __init__(self, lp: LinearProgram) -> None:
+        if np.any(lp.lower_bounds == -_INF):
+            raise ValueError(
+                "PreparedStandardForm requires a finite lower bound on every variable"
+            )
+        self.num_vars = lp.num_vars
+        self.objective = lp.objective.copy()
+        self._finite_upper = np.isfinite(lp.upper_bounds)
+        self._ub_vars = np.where(self._finite_upper)[0]
+        if lp.constraints:
+            self._rows = np.vstack([c.coefficients for c in lp.constraints])
+            self._rhs = np.asarray([c.rhs for c in lp.constraints], dtype=float)
+        else:
+            self._rows = np.zeros((0, self.num_vars))
+            self._rhs = np.zeros(0)
+        senses = [c.sense for c in lp.constraints]
+
+        n_con = len(senses)
+        n_ub = self._ub_vars.shape[0]
+        n_rows = n_con + n_ub
+        n_slacks = sum(1 for s in senses if s in ("<=", ">=")) + n_ub
+        total_cols = self.num_vars + n_slacks
+        a_std = np.zeros((n_rows, total_cols))
+        a_std[:n_con, : self.num_vars] = self._rows
+        slack = self.num_vars
+        for r, sense in enumerate(senses):
+            if sense == "<=":
+                a_std[r, slack] = 1.0
+                slack += 1
+            elif sense == ">=":
+                a_std[r, slack] = -1.0
+                slack += 1
+        for offset, var in enumerate(self._ub_vars):
+            r = n_con + offset
+            a_std[r, int(var)] = 1.0
+            a_std[r, slack] = 1.0
+            slack += 1
+        self._a_std = a_std
+        c_std = np.zeros(total_cols)
+        c_std[: self.num_vars] = self.objective
+        self._c_std = c_std
+
+    def matches(self, lower: np.ndarray, upper: np.ndarray) -> bool:
+        """Whether the bound finiteness pattern still fits this structure."""
+        return bool(
+            np.all(lower > -_INF)
+            and np.array_equal(np.isfinite(upper), self._finite_upper)
+        )
+
+    def solve(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        initial_basis: np.ndarray | None = None,
+        tol: float = 1e-9,
+        max_iterations: int = 20000,
+    ) -> LPSolution:
+        """Solve under new bounds, optionally warm-starting from a basis."""
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        if not self.matches(lower, upper):
+            raise ValueError("bound pattern no longer matches the prepared structure")
+        b_con = self._rhs - self._rows @ lower
+        b_ub = upper[self._ub_vars] - lower[self._ub_vars]
+        b_std = np.concatenate([b_con, b_ub])
+        result = solve_standard_form(
+            self._c_std,
+            self._a_std,
+            b_std,
+            tol=tol,
+            max_iterations=max_iterations,
+            initial_basis=initial_basis,
+        )
+        if result.status is SimplexStatus.OPTIMAL:
+            x = result.x[: self.num_vars] + lower
+            return LPSolution(
+                LPStatus.OPTIMAL,
+                x,
+                float(self.objective @ x),
+                iterations=result.iterations,
+                backend="simplex-prepared",
+                basis=result.basis,
+                warm_started=result.warm_started,
+            )
+        mapping = {
+            SimplexStatus.INFEASIBLE: LPStatus.INFEASIBLE,
+            SimplexStatus.UNBOUNDED: LPStatus.UNBOUNDED,
+            SimplexStatus.ITERATION_LIMIT: LPStatus.ERROR,
+        }
+        return LPSolution(
+            mapping[result.status],
+            np.zeros(0),
+            float("nan"),
+            iterations=result.iterations,
+            backend="simplex-prepared",
+            warm_started=result.warm_started,
+        )

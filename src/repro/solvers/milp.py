@@ -47,6 +47,10 @@ class MILPSolution:
         best_bound: Best proven lower bound on the optimum.
         nodes: Number of branch-and-bound nodes processed.
         gap: Relative optimality gap ``(objective - best_bound) / max(1, |objective|)``.
+        lp_iterations: Total LP backend iterations (simplex pivots / HiGHS
+            iterations) summed over every node solve.
+        warm_started_nodes: Node LPs that actually resumed from the parent
+            basis (built-in simplex backend only).
     """
 
     status: MILPStatus
@@ -55,6 +59,8 @@ class MILPSolution:
     best_bound: float = float("-inf")
     nodes: int = 0
     gap: float = float("inf")
+    lp_iterations: int = 0
+    warm_started_nodes: int = 0
 
     @property
     def has_solution(self) -> bool:

@@ -22,6 +22,9 @@ violation at once).  The invariants:
   of two never changes any weight vector's error (metamorphic).
 * **executor / cache parity** -- serial, thread, and process backends (and
   cache hit vs. fresh solve) produce identical fingerprints and results.
+* **vectorized parity** -- the batched cell-bound classifier and the matrix
+  (lockstep) SYM-GD multi-seed path must match their scalar reference
+  implementations exactly.
 """
 
 from __future__ import annotations
@@ -49,6 +52,8 @@ __all__ = [
     "check_executor_parity",
     "check_cache_parity",
     "check_zero_error_witness",
+    "check_vectorized_cell_bounds",
+    "check_matrix_symgd_parity",
     "results_equal",
 ]
 
@@ -329,6 +334,113 @@ def check_rescaling_invariance(
                 f"error changed under x{factor} rescaling: {before} -> {after}",
             )
     return _ok(invariant, subject)
+
+
+# -- vectorized-vs-reference invariants ---------------------------------------------
+
+
+def check_vectorized_cell_bounds(
+    problem: RankingProblem,
+    results: dict[str, SynthesisResult] | None = None,
+    cell_size: float = 0.2,
+    max_grid_cells: int = 32,
+) -> CheckResult:
+    """Batched cell bounds match the scalar reference on every probed cell.
+
+    Probes a coarse grid over the simplex plus a cell around every
+    simplex-feasible method result (the regions the seeding strategy and the
+    cell-bound consistency check actually visit), and requires the
+    :class:`~repro.core.cells.CellBoundEvaluator` matrix program to
+    reproduce the reference loop's integer bounds exactly.
+    """
+    from repro.core.cells import (
+        cell_error_bounds_many,
+        cell_error_bounds_reference,
+        grid_cells,
+    )
+
+    invariant = "vectorized_parity"
+    grid_step = 0.5 if problem.num_attributes <= 6 else 0.95
+    cells = grid_cells(problem.num_attributes, grid_step, max_cells=max_grid_cells)
+    for result in (results or {}).values():
+        if result.error < 0:
+            continue
+        weights = np.asarray(result.weights, dtype=float).ravel()
+        if _on_simplex(weights):
+            cells.append(cell_around(weights, cell_size))
+    reference = [cell_error_bounds_reference(problem, cell) for cell in cells]
+    batched = cell_error_bounds_many(problem, cells, vectorized=True)
+    if reference != batched:
+        mismatches = [
+            f"cell {index}: reference {ref} != batched {vec}"
+            for index, (ref, vec) in enumerate(zip(reference, batched))
+            if ref != vec
+        ]
+        return _fail(
+            invariant,
+            "cell_bounds",
+            f"{len(mismatches)}/{len(cells)} cells diverge: " + "; ".join(mismatches[:3]),
+        )
+    return _ok(invariant, "cell_bounds", f"{len(cells)} cells")
+
+
+def check_matrix_symgd_parity(
+    problem: RankingProblem,
+    num_seeds: int = 3,
+    options: dict | None = None,
+) -> CheckResult:
+    """Lockstep matrix SYM-GD reproduces the per-seed reference descents.
+
+    Runs multi-seed SYM-GD twice from the same seed set -- once through the
+    historical one-full-descent-per-seed loop (``vectorized=False``), once
+    through the lockstep matrix driver -- and requires identical merged
+    weights, identical per-seed errors, and identical iteration counts.
+    Budgets are deterministic (no wall-clock limit), so any divergence is a
+    real defect in the lockstep state machine or the batched seed
+    evaluation, never scheduling noise.
+    """
+    from repro.core.symgd import SymGD, SymGDOptions, default_seed_points
+
+    invariant = "vectorized_parity"
+    symgd_options = SymGDOptions.from_dict(
+        options
+        or {
+            "cell_size": 0.25,
+            "max_iterations": 4,
+            "solver_options": {
+                "node_limit": 40,
+                "verify": False,
+                "warm_start_strategy": "none",
+            },
+        }
+    )
+    solver = SymGD(symgd_options)
+    seeds = default_seed_points(problem, num_seeds)
+    reference = solver.solve_multi_seed(problem, seeds=seeds, vectorized=False)
+    lockstep = solver.solve_multi_seed(problem, seeds=seeds, vectorized=True)
+    if not results_equal(reference, lockstep):
+        return _fail(
+            invariant,
+            "matrix_symgd",
+            f"merged results diverge (errors {reference.error} vs "
+            f"{lockstep.error})",
+        )
+    ref_errors = reference.diagnostics["per_seed_errors"]
+    vec_errors = lockstep.diagnostics["per_seed_errors"]
+    if ref_errors != vec_errors:
+        return _fail(
+            invariant,
+            "matrix_symgd",
+            f"per-seed errors diverge: {ref_errors} vs {vec_errors}",
+        )
+    if reference.iterations != lockstep.iterations:
+        return _fail(
+            invariant,
+            "matrix_symgd",
+            f"iteration counts diverge: {reference.iterations} vs "
+            f"{lockstep.iterations}",
+        )
+    return _ok(invariant, "matrix_symgd", f"{len(seeds)} seeds")
 
 
 # -- execution-substrate invariants -------------------------------------------------

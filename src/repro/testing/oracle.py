@@ -26,11 +26,13 @@ from repro.testing.invariants import (
     CheckResult,
     check_cell_bound_consistency,
     check_exact_dominance,
+    check_matrix_symgd_parity,
     check_permutation_invariance,
     check_problem_roundtrip,
     check_rescaling_invariance,
     check_result_contract,
     check_serialization_roundtrip,
+    check_vectorized_cell_bounds,
     check_zero_error_witness,
 )
 
@@ -160,6 +162,12 @@ class DifferentialOracle:
             checks.extend(check_serialization_roundtrip(request, result))
 
         checks.extend(check_exact_dominance(problem, results))
+
+        # Vectorized hot paths against their scalar references: the batched
+        # cell-bound classifier and the lockstep matrix SYM-GD driver must be
+        # bit-compatible with the loops they replaced, on every family.
+        checks.append(check_vectorized_cell_bounds(problem, results))
+        checks.append(check_matrix_symgd_parity(problem))
 
         witness = scenario.metadata.get("zero_error_weights")
         if witness is not None:

@@ -134,3 +134,45 @@ def test_cell_error_lower_bound_is_sound(seed):
         if cell.contains(point):
             error = problem.error_of(point)
             assert lower <= error <= max(upper, error)
+
+
+def test_batched_cell_bounds_match_reference(nonlinear_problem):
+    from repro.core.cells import (
+        CellBoundEvaluator,
+        cell_error_bounds_many,
+        cell_error_bounds_reference,
+    )
+
+    cells = grid_cells(nonlinear_problem.num_attributes, 0.5)
+    rng = np.random.default_rng(11)
+    for _ in range(5):
+        center = rng.dirichlet(np.ones(nonlinear_problem.num_attributes))
+        cells.append(cell_around(center, 0.3))
+    reference = [cell_error_bounds_reference(nonlinear_problem, c) for c in cells]
+    assert cell_error_bounds_many(nonlinear_problem, cells, vectorized=True) == reference
+    assert cell_error_bounds_many(nonlinear_problem, cells, vectorized=False) == reference
+    evaluator = CellBoundEvaluator(nonlinear_problem)
+    assert evaluator.bounds(cells[0]) == reference[0]
+    assert evaluator.bounds_many([]) == []
+
+
+def test_batched_cell_bounds_dimension_mismatch(nonlinear_problem):
+    from repro.core.cells import CellBoundEvaluator
+
+    wrong = Cell(np.zeros(nonlinear_problem.num_attributes + 1),
+                 np.ones(nonlinear_problem.num_attributes + 1))
+    with pytest.raises(ValueError):
+        CellBoundEvaluator(nonlinear_problem).bounds(wrong)
+
+
+def test_batched_cell_bounds_through_executor(nonlinear_problem):
+    from repro.core.cells import cell_error_bounds_many
+    from repro.engine.executor import ThreadExecutor
+
+    cells = grid_cells(nonlinear_problem.num_attributes, 0.34)
+    serial = cell_error_bounds_many(nonlinear_problem, cells)
+    with ThreadExecutor(max_workers=2) as executor:
+        fanned = cell_error_bounds_many(
+            nonlinear_problem, cells, executor=executor, chunk_size=4
+        )
+    assert fanned == serial

@@ -144,3 +144,31 @@ def test_problem_requires_at_least_one_attribute():
     ranking = Ranking([1, 2])
     with pytest.raises(ValueError):
         RankingProblem(relation, ranking)
+
+
+def test_errors_of_many_matches_scalar_error_of(linear_problem):
+    rng = np.random.default_rng(9)
+    candidates = rng.dirichlet(
+        np.ones(linear_problem.num_attributes), size=6
+    )
+    batched = linear_problem.errors_of_many(candidates)
+    assert batched.shape == (6,)
+    for i in range(candidates.shape[0]):
+        assert int(batched[i]) == linear_problem.error_of(candidates[i]), i
+
+
+def test_errors_of_many_rejects_bad_shapes(linear_problem):
+    with pytest.raises(ValueError):
+        linear_problem.errors_of_many(np.ones(linear_problem.num_attributes))
+    with pytest.raises(ValueError):
+        linear_problem.errors_of_many(
+            np.ones((2, linear_problem.num_attributes + 1))
+        )
+
+
+def test_fingerprint_is_memoized_and_content_addressed(linear_problem):
+    first = linear_problem.fingerprint()
+    assert linear_problem._fingerprint == first  # computed once, stored
+    assert linear_problem.fingerprint() is first  # repeat returns the memo
+    rebuilt = RankingProblem.from_dict(linear_problem.to_dict())
+    assert rebuilt.fingerprint() == first  # content-addressed, not identity

@@ -92,3 +92,105 @@ def test_symgd_larger_cells_do_not_hurt_final_error():
     small = SymGD(_options(cell_size=0.02, max_iterations=4, seed_strategy="uniform")).solve(problem)
     large = SymGD(_options(cell_size=0.5, max_iterations=4, seed_strategy="uniform")).solve(problem)
     assert large.error <= small.error + 1  # larger neighbourhoods see more of the space
+
+
+def test_multi_seed_lockstep_matches_reference(nonlinear_problem):
+    from repro.core.symgd import default_seed_points
+
+    options = SymGDOptions(
+        cell_size=0.25,
+        max_iterations=4,
+        solver_options=RankHowOptions(
+            node_limit=40, verify=False, warm_start_strategy="none"
+        ),
+    )
+    solver = SymGD(options)
+    seeds = default_seed_points(nonlinear_problem, 3)
+    reference = solver.solve_multi_seed(nonlinear_problem, seeds=seeds, vectorized=False)
+    lockstep = solver.solve_multi_seed(nonlinear_problem, seeds=seeds, vectorized=True)
+    assert lockstep.error == reference.error
+    assert np.array_equal(lockstep.weights, reference.weights)
+    assert (
+        lockstep.diagnostics["per_seed_errors"]
+        == reference.diagnostics["per_seed_errors"]
+    )
+    assert lockstep.iterations == reference.iterations
+    assert lockstep.nodes == reference.nodes
+    assert lockstep.method == reference.method
+
+
+def test_multi_seed_adaptive_lockstep_matches_reference(nonlinear_problem):
+    from repro.core.symgd import default_seed_points
+
+    options = SymGDOptions(
+        cell_size=0.2,
+        adaptive=True,
+        max_iterations=6,
+        max_cell_size=0.9,
+        solver_options=RankHowOptions(
+            node_limit=40, verify=False, warm_start_strategy="none"
+        ),
+    )
+    solver = SymGD(options)
+    seeds = default_seed_points(nonlinear_problem, 3)
+    reference = solver.solve_multi_seed(nonlinear_problem, seeds=seeds, vectorized=False)
+    lockstep = solver.solve_multi_seed(nonlinear_problem, seeds=seeds, vectorized=True)
+    assert lockstep.error == reference.error
+    assert (
+        lockstep.diagnostics["per_seed_errors"]
+        == reference.diagnostics["per_seed_errors"]
+    )
+    assert lockstep.method == "symgd-adaptive-multiseed"
+
+
+def test_symgd_reports_lp_iteration_totals(nonlinear_problem):
+    options = SymGDOptions(
+        cell_size=0.25,
+        max_iterations=3,
+        solver_options=RankHowOptions(
+            node_limit=40,
+            lp_method="simplex",
+            verify=False,
+            warm_start_strategy="none",
+        ),
+    )
+    result = SymGD(options).solve(nonlinear_problem)
+    assert result.diagnostics["lp_iterations"] >= 0
+    assert isinstance(result.diagnostics["lp_iterations"], int)
+
+
+def test_time_limited_descent_preserves_solver_extras(nonlinear_problem, monkeypatch):
+    """The per-step time-budgeted options clone must keep extra/error_weights.
+
+    Regression test: the clone used to copy a hand-picked subset of fields,
+    silently re-enabling the warm_start_lp/node_presolve escape hatches (and
+    dropping weighted objectives) whenever a time limit was set.
+    """
+    from repro.core import symgd as symgd_module
+
+    seen: list[dict] = []
+    real_init = symgd_module.RankHow.__init__
+
+    def spy_init(self, options=None):
+        if options is not None:
+            seen.append(options.to_dict())
+        return real_init(self, options)
+
+    monkeypatch.setattr(symgd_module.RankHow, "__init__", spy_init)
+    options = SymGDOptions(
+        cell_size=0.3,
+        max_iterations=2,
+        time_limit=30.0,
+        solver_options=RankHowOptions(
+            node_limit=40,
+            verify=False,
+            warm_start_strategy="none",
+            extra={"warm_start_lp": False, "node_presolve": False},
+        ),
+    )
+    SymGD(options).solve(nonlinear_problem)
+    stepped = [opts for opts in seen if opts["time_limit"] is not None]
+    assert stepped, "the time-limited path never built a budgeted solver"
+    for opts in stepped:
+        assert opts["extra"] == {"warm_start_lp": False, "node_presolve": False}
+        assert opts["node_limit"] == 40

@@ -184,3 +184,39 @@ def test_build_solver_honors_rankhow_warm_start():
     # With no nodes and no heuristic, the warm start is the only incumbent:
     # the result can never be worse than it.
     assert 0 <= result.error <= problem.error_of(np.asarray(warm))
+
+
+def test_engine_vectorized_multi_seed_matches_executor_path():
+    from repro.core.symgd import SymGDOptions, default_seed_points
+    from repro.core.rankhow import RankHowOptions
+
+    problem = build_problem(k=4, seed=5)
+    options = SymGDOptions(
+        cell_size=0.25,
+        max_iterations=3,
+        solver_options=RankHowOptions(
+            node_limit=40, verify=False, warm_start_strategy="none"
+        ),
+    )
+    seeds = default_seed_points(problem, 3)
+    with SolveEngine(backend="serial") as engine:
+        pooled = engine.multi_seed_symgd(problem, options=options, seeds=seeds)
+        lockstep = engine.multi_seed_symgd(
+            problem, options=options, seeds=seeds, vectorized=True
+        )
+    assert lockstep.error == pooled.error
+    assert np.array_equal(lockstep.weights, pooled.weights)
+    assert (
+        lockstep.diagnostics["per_seed_errors"]
+        == pooled.diagnostics["per_seed_errors"]
+    )
+
+
+def test_engine_cell_error_bounds_helper():
+    from repro.core.cells import cell_error_bounds_reference, grid_cells
+
+    problem = build_problem(k=3, seed=2)
+    cells = grid_cells(problem.num_attributes, 0.5)
+    with SolveEngine(backend="serial") as engine:
+        batched = engine.cell_error_bounds(problem, cells)
+    assert batched == [cell_error_bounds_reference(problem, c) for c in cells]

@@ -25,6 +25,7 @@ REQUIRED_INVARIANTS = {
     "exact_dominance",
     "permutation_invariance",
     "rescaling_invariance",
+    "vectorized_parity",
 }
 
 

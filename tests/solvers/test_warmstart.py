@@ -1,0 +1,250 @@
+"""Warm-started simplex / branch-and-bound: basis reuse and its fallbacks.
+
+The warm-start contract: a reused basis may only ever make a solve cheaper,
+never change what it computes.  These tests cover the happy path (phase-1
+skip), the dual-simplex repair after a branching-style bound flip, and every
+fallback the implementation promises (invalid basis shapes, artificial or
+repeated columns, infeasible parent basis, iteration limits hit mid-warm-
+start), plus the prepared-standard-form fast path branch-and-bound drives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.branch_and_bound import BranchAndBoundSolver, SolverOptions
+from repro.solvers.lp import LinearProgram, LPStatus, PreparedStandardForm
+from repro.solvers.milp import MILPModel
+from repro.solvers.presolve import BoundTightener
+from repro.solvers.simplex import SimplexStatus, solve_standard_form
+
+
+def _small_standard_form():
+    """min -x1 - 2*x2 s.t. x1 + x2 + s1 = 4, x1 + 3*x2 + s2 = 6, x >= 0."""
+    c = np.array([-1.0, -2.0, 0.0, 0.0])
+    a = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 3.0, 0.0, 1.0]])
+    b = np.array([4.0, 6.0])
+    return c, a, b
+
+
+class TestSimplexWarmStart:
+    def test_feasible_basis_skips_phase_one(self):
+        c, a, b = _small_standard_form()
+        cold = solve_standard_form(c, a, b)
+        assert cold.is_optimal and cold.basis is not None
+        # Same problem, slightly perturbed rhs: the optimal basis stays
+        # feasible, so the warm solve needs no pivots at all.
+        warm = solve_standard_form(c, a, b * 1.01, initial_basis=cold.basis)
+        assert warm.is_optimal
+        assert warm.warm_started
+        assert warm.iterations <= cold.iterations
+        reference = solve_standard_form(c, a, b * 1.01)
+        assert warm.objective == pytest.approx(reference.objective)
+
+    def test_bound_flip_triggers_dual_repair(self):
+        # Branching-style change: force a basic variable down by shrinking a
+        # row's rhs until the parent basic solution goes primal infeasible.
+        c, a, b = _small_standard_form()
+        cold = solve_standard_form(c, a, b)
+        tightened = np.array([4.0, 1.0])
+        warm = solve_standard_form(c, a, tightened, initial_basis=cold.basis)
+        reference = solve_standard_form(c, a, tightened)
+        assert reference.is_optimal
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(reference.objective)
+
+    def test_infeasible_parent_basis_falls_back_cold(self):
+        # x1 + s = 1 with basis {s}; new rhs -1 makes the basis infeasible
+        # AND the problem infeasible -- the cold path must prove it, and the
+        # warm attempt must not claim anything else.
+        c = np.array([1.0, 0.0])
+        a = np.array([[1.0, 1.0]])
+        warm = solve_standard_form(
+            c, a, np.array([-1.0]), initial_basis=np.array([1])
+        )
+        assert warm.status is SimplexStatus.INFEASIBLE
+        assert not warm.warm_started  # the dual repair refused; cold path ran
+
+    @pytest.mark.parametrize(
+        "basis",
+        [
+            np.array([0]),  # wrong length
+            np.array([0, 9]),  # out of range
+            np.array([0, 0]),  # repeated column
+            np.array([4, 5]),  # artificial-range indices
+        ],
+    )
+    def test_defective_bases_fall_back_cold(self, basis):
+        c, a, b = _small_standard_form()
+        reference = solve_standard_form(c, a, b)
+        warm = solve_standard_form(c, a, b, initial_basis=basis)
+        assert warm.is_optimal
+        assert not warm.warm_started
+        assert warm.objective == pytest.approx(reference.objective)
+
+    def test_singular_basis_falls_back_cold(self):
+        c = np.array([1.0, 1.0, 0.0])
+        a = np.array([[1.0, 2.0, 2.0], [2.0, 4.0, 4.0]])
+        b = np.array([2.0, 4.0])
+        # Columns 1 and 2 are linearly dependent with row 2 = 2 * row 1.
+        warm = solve_standard_form(c, a, b, initial_basis=np.array([1, 2]))
+        assert not warm.warm_started
+        assert warm.status in (SimplexStatus.OPTIMAL, SimplexStatus.INFEASIBLE)
+
+    def test_iteration_limit_mid_warm_start(self):
+        c, a, b = _small_standard_form()
+        cold = solve_standard_form(c, a, b)
+        # The bound flip needs dual + primal pivots; an exhausted budget must
+        # surface as ITERATION_LIMIT from inside the warm-started solve.
+        warm = solve_standard_form(
+            c, a, np.array([4.0, 1.0]), max_iterations=1, initial_basis=cold.basis
+        )
+        assert warm.status is SimplexStatus.ITERATION_LIMIT
+        assert warm.warm_started
+        assert warm.iterations == 1
+
+
+class TestPreparedStandardForm:
+    def _boxed_lp(self):
+        lp = LinearProgram(num_vars=3)
+        lp.set_objective([1.0, -2.0, 0.5])
+        lp.add_constraint([1.0, 1.0, 1.0], "==", 1.0)
+        lp.add_constraint([1.0, -1.0, 0.0], "<=", 0.5)
+        lp.set_all_bounds(np.zeros(3), np.ones(3))
+        return lp
+
+    def test_matches_plain_simplex_backend(self):
+        lp = self._boxed_lp()
+        prepared = PreparedStandardForm(lp)
+        direct = lp.solve(method="simplex")
+        via_prepared = prepared.solve(lp.lower_bounds, lp.upper_bounds)
+        assert via_prepared.is_optimal
+        assert via_prepared.objective == pytest.approx(direct.objective)
+        np.testing.assert_allclose(via_prepared.x, direct.x, atol=1e-9)
+
+    def test_bound_change_with_warm_basis(self):
+        lp = self._boxed_lp()
+        prepared = PreparedStandardForm(lp)
+        parent = prepared.solve(lp.lower_bounds, lp.upper_bounds)
+        lower = lp.lower_bounds.copy()
+        upper = lp.upper_bounds.copy()
+        lower[1] = upper[1] = 0.25  # fix a variable, branching-style
+        warm = prepared.solve(lower, upper, initial_basis=parent.basis)
+        lp.set_bounds(1, lower=0.25, upper=0.25)
+        reference = lp.solve(method="simplex")
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(reference.objective)
+
+    def test_rejects_infinite_lower_bounds(self):
+        lp = LinearProgram(num_vars=2)
+        lp.set_bounds(0, lower=-np.inf)
+        with pytest.raises(ValueError):
+            PreparedStandardForm(lp)
+
+    def test_rejects_changed_bound_pattern(self):
+        lp = self._boxed_lp()
+        prepared = PreparedStandardForm(lp)
+        upper = lp.upper_bounds.copy()
+        upper[2] = np.inf
+        assert not prepared.matches(lp.lower_bounds, upper)
+        with pytest.raises(ValueError):
+            prepared.solve(lp.lower_bounds, upper)
+
+
+class TestBoundTightener:
+    def test_fixes_binary_from_row(self):
+        # x0 + x1 <= 1 with x0 fixed to 1 forces the binary x1 to 0.
+        rows = np.array([[1.0, 1.0]])
+        tightener = BoundTightener(
+            rows, ["<="], np.array([1.0]), candidates=np.array([1]), integral=True
+        )
+        lower = np.array([1.0, 0.0])
+        upper = np.array([1.0, 1.0])
+        lower, upper, feasible = tightener.tighten(lower, upper)
+        assert feasible
+        assert upper[1] == 0.0
+
+    def test_detects_infeasible_box(self):
+        rows = np.array([[1.0, 1.0]])
+        tightener = BoundTightener(
+            rows, [">="], np.array([3.0]), candidates=np.array([0, 1]), integral=True
+        )
+        lower = np.zeros(2)
+        upper = np.ones(2)
+        _, _, feasible = tightener.tighten(lower, upper)
+        assert not feasible
+
+    def test_objective_cutoff_prunes(self):
+        rows = np.zeros((0, 2))
+        tightener = BoundTightener(
+            rows,
+            [],
+            np.zeros(0),
+            candidates=np.array([0, 1]),
+            integral=True,
+            objective_row=np.array([1.0, 1.0]),
+        )
+        lower = np.array([1.0, 1.0])
+        upper = np.array([1.0, 1.0])
+        _, _, feasible = tightener.tighten(lower, upper, cutoff=1.5)
+        assert not feasible
+        lower = np.array([0.0, 0.0])
+        upper = np.array([1.0, 1.0])
+        lower, upper, feasible = tightener.tighten(lower, upper, cutoff=0.5)
+        assert feasible
+        assert np.all(upper == 0.0)  # integral rounding fixed both binaries
+
+
+def _knapsack_model(seed: int = 0, items: int = 10) -> MILPModel:
+    """A small min-cost covering knapsack with genuinely fractional LPs."""
+    rng = np.random.default_rng(seed)
+    model = MILPModel()
+    costs = rng.uniform(1.0, 3.0, size=items)
+    for i in range(items):
+        model.add_binary(objective=float(costs[i]), name=f"b{i}")
+    weights = rng.uniform(0.5, 2.0, size=items)
+    model.add_constraint(
+        {i: float(weights[i]) for i in range(items)}, ">=", float(weights.sum() / 3)
+    )
+    model.add_constraint({i: 1.0 for i in range(items)}, "<=", float(items // 2))
+    return model
+
+
+class TestBranchAndBoundWarmStart:
+    def test_warm_and_cold_agree_and_warm_pivots_less(self):
+        model = _knapsack_model(seed=3)
+        cold = BranchAndBoundSolver(
+            SolverOptions(lp_method="simplex", warm_start_lp=False, node_presolve=False)
+        ).solve(model)
+        warm = BranchAndBoundSolver(
+            SolverOptions(lp_method="simplex", warm_start_lp=True, node_presolve=False)
+        ).solve(model)
+        assert cold.status == warm.status
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.lp_iterations <= cold.lp_iterations
+        assert warm.warm_started_nodes > 0
+
+    def test_node_presolve_preserves_the_optimum(self):
+        for seed in range(3):
+            model = _knapsack_model(seed=seed)
+            plain = BranchAndBoundSolver(
+                SolverOptions(lp_method="simplex", node_presolve=False)
+            ).solve(model)
+            presolved = BranchAndBoundSolver(
+                SolverOptions(lp_method="simplex", node_presolve=True)
+            ).solve(model)
+            assert plain.status == presolved.status
+            assert presolved.objective == pytest.approx(plain.objective), seed
+
+    def test_scipy_backend_unaffected_by_warm_start_flag(self):
+        model = _knapsack_model(seed=1)
+        a = BranchAndBoundSolver(
+            SolverOptions(lp_method="scipy", warm_start_lp=True)
+        ).solve(model)
+        b = BranchAndBoundSolver(
+            SolverOptions(lp_method="scipy", warm_start_lp=False)
+        ).solve(model)
+        assert a.status == b.status
+        assert a.objective == pytest.approx(b.objective)
+        assert a.warm_started_nodes == 0
