@@ -1,0 +1,114 @@
+"""Incremental synthesis benchmark: cold vs. delta-aware session re-solves.
+
+Guards the delta-aware incremental path introduced with the session layer
+(``RankHowClient.session()`` -> ``SolveEngine.solve_incremental``).  Every
+run rewrites ``BENCH_incremental.json`` at the repository root with the
+measured numbers; CI uploads the file as an artifact, and the committed copy
+is the baseline snapshot from the container the numbers were first taken on.
+
+The workload is an interactive edit chain with a mid-chain undo
+(``session.rewind``), solved three ways -- stateless cold, exact-parity
+incremental session, aggressive (warm-started) session.  Assertions:
+
+* **parity** -- every incremental solve returns bitwise-identically what the
+  cold solve of the same visited state returns (the session is an
+  optimization, never a semantic fork);
+* **strictly fewer simplex iterations** -- the incremental chain performs
+  strictly fewer total LP pivots than the cold chain: composed delta
+  fingerprints turn the revisited state into an exact cache hit that runs
+  zero pivots, where the cold path pays the full solve again;
+* **parent-hits recorded** -- the engine's incremental counters show both
+  parent-artifact hits and the exact hit, so the fallback chain
+  (exact -> parent -> cold) demonstrably engaged.
+
+The aggressive leg is recorded but not perf-asserted: steering the search
+with a warm root basis / seeded incumbent wins or loses depending on
+degeneracy (see the ``SolveContext`` docs), and this substrate's node LPs
+are degenerate often enough that the honest claim is parity-mode savings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import bench_scale
+
+from repro.bench.experiments import experiment_incremental
+from repro.bench.reporting import ascii_table
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+
+def _write_baseline(records) -> None:
+    payload = {
+        "schema": 1,
+        "experiment": "incremental",
+        "records": [record.as_row() for record in records],
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_incremental_chain(benchmark):
+    records = benchmark.pedantic(
+        lambda: experiment_incremental(scale=bench_scale()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="Incremental synthesis: cold vs. session"))
+    _write_baseline(records)
+
+    visits = [r for r in records if r.experiment == "incremental_chain"]
+    by_mode = {
+        mode: sorted(
+            (r for r in visits if r.method == mode), key=lambda r: r.params["visit"]
+        )
+        for mode in ("cold", "incremental", "aggressive")
+    }
+    n_visits = len(by_mode["cold"])
+    assert n_visits >= 5, "the chain must visit at least 3 edits plus a revisit"
+    assert all(len(rows) == n_visits for rows in by_mode.values())
+
+    # -- parity: incremental == cold, per visited state -----------------------
+    for cold, incremental in zip(by_mode["cold"], by_mode["incremental"]):
+        assert incremental.error == cold.error, (
+            f"visit {cold.params['visit']}: incremental error {incremental.error} "
+            f"!= cold {cold.error}"
+        )
+        assert incremental.extra["weights"] == cold.extra["weights"], (
+            f"visit {cold.params['visit']}: incremental weights are not "
+            "bitwise the cold solve's"
+        )
+
+    # -- strictly fewer pivots: the revisit is an exact hit -------------------
+    cold_iters = sum(r.extra["lp_iterations"] for r in by_mode["cold"])
+    incremental_iters = sum(r.extra["lp_iterations"] for r in by_mode["incremental"])
+    assert cold_iters > 0, "the workload never reached the LP (seeding too strong)"
+    assert incremental_iters < cold_iters, (
+        f"incremental chain performed {incremental_iters} simplex iterations, "
+        f"not strictly fewer than the cold chain's {cold_iters}"
+    )
+    served = [r.extra["served"] for r in by_mode["incremental"]]
+    assert "exact" in served, f"no revisit was served from the cache: {served}"
+
+    # -- fallback-chain counters ----------------------------------------------
+    stats = {
+        r.method: r.extra
+        for r in records
+        if r.experiment == "incremental_stats"
+    }
+    for mode in ("incremental", "aggressive"):
+        assert stats[mode]["exact_hits"] >= 1, stats[mode]
+        assert stats[mode]["parent_hits"] >= 1, stats[mode]
+    # One session = one chain: every visit is accounted one tier or another.
+    assert (
+        stats["incremental"]["exact_hits"]
+        + stats["incremental"]["parent_hits"]
+        + stats["incremental"]["cold_solves"]
+        == n_visits
+    )
+
+    # -- aggressive leg is recorded and lawful (not perf-asserted) ------------
+    assert all(r.error >= 0 for r in by_mode["aggressive"])
+    assert "exact" in [r.extra["served"] for r in by_mode["aggressive"]]

@@ -99,8 +99,10 @@ __all__ = [
     "QueryServerOptions",
     "RankHowClient",
     "SynthesisRequest",
+    "SynthesisSession",
     "SynthesisMethod",
     "MethodRegistry",
+    "ProblemDelta",
     "register_method",
     "get_method",
     "list_methods",
@@ -121,6 +123,8 @@ _LAZY_EXPORTS = {
     "QueryServerOptions": ("repro.service", "QueryServerOptions"),
     "RankHowClient": ("repro.api", "RankHowClient"),
     "SynthesisRequest": ("repro.api", "SynthesisRequest"),
+    "SynthesisSession": ("repro.api", "SynthesisSession"),
+    "ProblemDelta": ("repro.core.delta", "ProblemDelta"),
     "SynthesisMethod": ("repro.api", "SynthesisMethod"),
     "MethodRegistry": ("repro.api", "MethodRegistry"),
     "register_method": ("repro.api", "register_method"),

@@ -36,6 +36,7 @@ __all__ = [
     "RankHowClient",
     "SynthesisMethod",
     "SynthesisRequest",
+    "SynthesisSession",
     "get_method",
     "list_methods",
     "method_capabilities",
@@ -46,6 +47,7 @@ __all__ = [
 _LAZY_EXPORTS = {
     "SynthesisRequest": ("repro.api.request", "SynthesisRequest"),
     "RankHowClient": ("repro.api.client", "RankHowClient"),
+    "SynthesisSession": ("repro.api.session", "SynthesisSession"),
 }
 
 

@@ -30,11 +30,23 @@ class SynthesisRequest:
         method: Registered method name (see :func:`repro.api.list_methods`).
         options: Wire-format options mapping (or an options dataclass with
             ``to_dict``); unknown keys are rejected at construction time.
+        base_fingerprint: Provenance of a delta-built request (see
+            :meth:`from_deltas`): the fingerprint of the base problem the
+            edit chain started from.  ``None`` for ordinary requests.
+        deltas: Wire dicts of the applied delta chain, aligned with
+            ``base_fingerprint``.  A server session resolves the pair back
+            into the edited problem without the client re-shipping the
+            attribute matrix (see :meth:`from_dict`'s ``base_resolver``).
     """
 
     problem: RankingProblem
     method: str = "symgd"
     options: dict = field(default_factory=dict)
+    base_fingerprint: str | None = field(default=None, compare=False)
+    deltas: list | None = field(default=None, compare=False)
+    _base: RankingProblem | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
     _effective: dict | None = field(default=None, init=False, repr=False, compare=False)
     _fingerprint: str | None = field(
         default=None, init=False, repr=False, compare=False
@@ -79,6 +91,18 @@ class SynthesisRequest:
         or ``seed_point`` become float lists) so the output always survives
         ``json.dumps``.
         """
+        if self.base_fingerprint is not None and self._base is not None:
+            # Delta-built requests serialize as (base, edit chain), NOT as
+            # the edited problem: from_dict replays the chain through
+            # apply_delta, so the rebuilt request composes the *same*
+            # fingerprint and hits the same cache entries -- a true inverse.
+            return {
+                "base": self._base.to_dict(),
+                "base_fingerprint": self.base_fingerprint,
+                "deltas": jsonable(list(self.deltas or [])),
+                "method": self.method,
+                "options": jsonable(dict(self.options)),
+            }
         return {
             "problem": self.problem.to_dict(),
             "method": self.method,
@@ -86,16 +110,44 @@ class SynthesisRequest:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SynthesisRequest":
+    def from_dict(cls, data: dict, base_resolver=None) -> "SynthesisRequest":
         """Rebuild a request from its wire format.
 
-        The problem may arrive either inline (``"problem"``: the full
-        ``RankingProblem.to_dict`` payload) or by address (``"scenario"``:
-        a ``{"family", "index", "seed"}`` spec expanded through
-        :func:`repro.scenarios.scenario_from_spec`), so a client can ask the
-        query service to solve generated workloads by name without shipping
-        the attribute matrix.
+        The problem may arrive inline (``"problem"``: the full
+        ``RankingProblem.to_dict`` payload), by address (``"scenario"``: a
+        ``{"family", "index", "seed"}`` spec expanded through
+        :func:`repro.scenarios.scenario_from_spec`), as an inline edit
+        (``"base"`` + ``"deltas"``: the base problem plus the delta chain,
+        the format :meth:`to_dict` emits for delta-built requests -- the
+        chain replays through ``apply_delta``, preserving the composed
+        fingerprint), or -- when the caller supplies a ``base_resolver`` --
+        as an addressed edit (``"base_fingerprint"`` + ``"deltas"``), so an
+        interactive client ships only the edit, not the attribute matrix.
+
+        Args:
+            data: The wire dict.
+            base_resolver: Optional callable mapping a base problem
+                fingerprint to the :class:`RankingProblem` it addresses (or
+                ``None`` when unknown, which falls back to the inline /
+                scenario problem).  The query service's session store is the
+                canonical resolver.
         """
+        if "base" in data:
+            return cls.from_deltas(
+                RankingProblem.from_dict(data["base"]),
+                data.get("deltas") or [],
+                method=data.get("method", "symgd"),
+                options=dict(data.get("options") or {}),
+            )
+        if "base_fingerprint" in data and base_resolver is not None:
+            base = base_resolver(data["base_fingerprint"])
+            if base is not None:
+                return cls.from_deltas(
+                    base,
+                    data.get("deltas") or [],
+                    method=data.get("method", "symgd"),
+                    options=dict(data.get("options") or {}),
+                )
         if "problem" in data:
             problem = RankingProblem.from_dict(data["problem"])
         elif "scenario" in data:
@@ -106,12 +158,45 @@ class SynthesisRequest:
 
             problem = scenario_from_spec(data["scenario"]).problem
         else:
-            raise KeyError("request dict needs a 'problem' or a 'scenario' entry")
+            raise KeyError(
+                "request dict needs a 'problem', 'scenario', or resolvable "
+                "'base_fingerprint' entry"
+            )
         return cls(
             problem=problem,
             method=data.get("method", "symgd"),
             options=dict(data.get("options") or {}),
         )
+
+    @classmethod
+    def from_deltas(
+        cls,
+        base: RankingProblem,
+        deltas,
+        method: str = "symgd",
+        options: dict | None = None,
+    ) -> "SynthesisRequest":
+        """A request over ``base`` edited by a delta chain.
+
+        The edited problem is built through
+        :meth:`RankingProblem.apply_delta` (composed fingerprints, preserved
+        memos) and the request records its provenance
+        (:attr:`base_fingerprint`, :attr:`deltas`) so it can travel the wire
+        as an edit.  Equal chains over equal bases produce fingerprint-equal
+        requests -- the engine dedupes them without solving.
+        """
+        from repro.core.delta import deltas_from_dicts
+
+        parsed = deltas_from_dicts(list(deltas))
+        request = cls(
+            problem=base.apply_delta(parsed),
+            method=method,
+            options=dict(options or {}),
+        )
+        request.base_fingerprint = base.fingerprint()
+        request.deltas = [delta.to_dict() for delta in parsed]
+        request._base = base
+        return request
 
     @classmethod
     def from_scenario(

@@ -11,7 +11,7 @@ The ``benchmarks/`` directory at the repository root contains thin
 pytest-benchmark wrappers around :mod:`repro.bench.experiments`.
 """
 
-from repro.bench.experiments import experiment_scenarios
+from repro.bench.experiments import experiment_incremental, experiment_scenarios
 from repro.bench.harness import (
     BenchmarkScale,
     MethodBudget,
@@ -30,6 +30,7 @@ from repro.bench.reporting import (
 __all__ = [
     "BenchmarkScale",
     "MethodBudget",
+    "experiment_incremental",
     "experiment_scenarios",
     "csrankings_problem",
     "nba_problem",

@@ -35,6 +35,7 @@ from repro.core.problem import RankingProblem, ToleranceSettings
 from repro.core.rankhow import RankHowOptions
 from repro.core.symgd import SymGDOptions
 from repro.data.rankings import ranking_from_scores
+from repro.data.synthetic import generate_uniform
 
 __all__ = [
     "experiment_case_study",
@@ -50,6 +51,7 @@ __all__ = [
     "experiment_engine_throughput",
     "experiment_scenarios",
     "experiment_hotpaths",
+    "experiment_incremental",
 ]
 
 #: Methods compared in the exact-OPT figures (AdaRank is added for CSRankings,
@@ -914,4 +916,171 @@ def experiment_hotpaths(
                 },
             )
         )
+    return records
+
+
+# -- E10: incremental synthesis (delta-aware sessions) ------------------------------
+
+
+def experiment_incremental(
+    scale: BenchmarkScale | None = None,
+    num_tuples: int = 24,
+    num_attributes: int = 3,
+    k: int = 4,
+    node_limit: int = 40,
+    seed: int = 11,
+) -> list[ExperimentRecord]:
+    """Cold vs. incremental re-solve of an interactive edit chain.
+
+    Models the analyst loop the delta layer exists for: a base problem is
+    edited through ``scenarios.mutate()``-style deltas (jitter, tolerance
+    tightening), inspected, partially undone (:meth:`SynthesisSession.rewind`),
+    and re-solved -- six visited states, one of them a revisit.  Three legs
+    run the same visit sequence:
+
+    * ``cold`` -- every visited state solved from scratch through the
+      registry, exactly as a stateless caller would;
+    * ``incremental`` -- one exact-parity session: composed fingerprints
+      dedupe the revisited state into a cache hit (zero simplex pivots) and
+      every other state solves bitwise-identically to cold;
+    * ``aggressive`` -- the same session with cross-solve warm starts (root
+      LP basis + incumbent seeding), recorded for the trajectory; its
+      iteration count is informational, not asserted, because steering the
+      search can win or lose depending on degeneracy.
+
+    The exact solver runs on the built-in simplex backend with a weak
+    (``uniform``) warm-start strategy so every solve does real LP work --
+    with the default seeding the incumbent-cutoff presolve prunes these
+    sizes at the root and there would be no iterations to compare.
+    ``extra["lp_iterations"]`` counts pivots actually performed in that leg
+    (zero for an exact cache hit), so the totals the bench asserts on are
+    work done, not work remembered.
+    """
+    from repro.api.client import RankHowClient
+    from repro.scenarios.generator import mutation_delta
+
+    scale = scale or BenchmarkScale.from_environment()
+    relation = generate_uniform(
+        num_tuples=num_tuples, num_attributes=num_attributes, seed=seed
+    )
+    weights = np.linspace(0.5, 0.2, num_attributes)
+    weights = weights / weights.sum()
+    base = RankingProblem(
+        relation, ranking_from_scores(relation.matrix() @ weights, k=k)
+    )
+    options = {
+        "node_limit": node_limit,
+        "time_limit": scale.rankhow_time_limit,
+        "verify": False,
+        "lp_method": "simplex",
+        "warm_start_strategy": "uniform",
+    }
+
+    # The edit script: (kind, seed) pairs applied in order, with a rewind in
+    # the middle.  None = rewind two edits (back to the first jitter state).
+    script = [
+        ("jitter", 101),
+        ("tighten_tolerance", 102),
+        ("jitter", 103),
+        None,
+        ("jitter", 104),
+    ]
+
+    # Materialize the visited problems once (cold leg + parity reference).
+    visited = [base]
+    stack = [base]
+    for step in script:
+        if step is None:
+            stack = stack[:-2]
+            visited.append(stack[-1])
+            continue
+        kind, mutation_seed = step
+        deltas, _ = mutation_delta(stack[-1], kind, seed=mutation_seed)
+        head = stack[-1]
+        for delta in deltas:
+            head = delta.apply(head)
+        stack.append(head)
+        visited.append(head)
+
+    records: list[ExperimentRecord] = []
+
+    def _visit_record(mode, index, result, lp_iterations, served, wall):
+        return ExperimentRecord(
+            experiment="incremental_chain",
+            dataset="uniform",
+            method=mode,
+            params={"visit": index, "n": num_tuples, "k": k},
+            error=float(result.error),
+            per_tuple_error=float(result.error) / max(k, 1),
+            time_seconds=wall,
+            extra={
+                "lp_iterations": int(lp_iterations),
+                "served": served,
+                "status": result.diagnostics.get("status"),
+                # Exact float values (not rounded): the bench asserts the
+                # incremental leg's weights are bitwise the cold leg's.
+                "weights": [float(w) for w in result.weights],
+            },
+        )
+
+    # -- cold leg: every visited state from scratch ---------------------------
+    adapter = get_method("rankhow")
+    for index, problem in enumerate(visited):
+        start = time.perf_counter()
+        result = adapter.synthesize(problem, options)
+        wall = time.perf_counter() - start
+        records.append(
+            _visit_record(
+                "cold", index, result, result.diagnostics["lp_iterations"], "cold", wall
+            )
+        )
+
+    # -- incremental / aggressive legs: one session each ----------------------
+    for mode in ("incremental", "aggressive"):
+        with RankHowClient() as client:
+            session = client.session(
+                base,
+                method="rankhow",
+                options=options,
+                aggressive=(mode == "aggressive"),
+            )
+            index = 0
+
+            def _solve_and_record(index):
+                start = time.perf_counter()
+                outcome = session.solve()
+                wall = time.perf_counter() - start
+                performed = (
+                    0
+                    if outcome.served == "exact"
+                    else outcome.result.diagnostics["lp_iterations"]
+                )
+                records.append(
+                    _visit_record(
+                        mode, index, outcome.result, performed, outcome.served, wall
+                    )
+                )
+
+            _solve_and_record(index)
+            for step in script:
+                index += 1
+                if step is None:
+                    session.rewind(2)
+                else:
+                    kind, mutation_seed = step
+                    deltas, _ = mutation_delta(
+                        session.problem, kind, seed=mutation_seed
+                    )
+                    session.edit(*deltas)
+                _solve_and_record(index)
+            stats = client.stats()["incremental"]
+            records.append(
+                ExperimentRecord(
+                    experiment="incremental_stats",
+                    dataset="uniform",
+                    method=mode,
+                    params={"n": num_tuples, "k": k},
+                    extra=dict(stats),
+                )
+            )
     return records

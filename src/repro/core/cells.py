@@ -259,6 +259,139 @@ class CellBoundEvaluator:
         """Bounds for a single cell (batched kernel, batch size one)."""
         return self.bounds_many([cell])[0]
 
+    def updated_for(self, problem: RankingProblem) -> "CellBoundEvaluator | None":
+        """Derive an evaluator for an edited problem without a full rebuild.
+
+        Supports the edits a synthesis session makes around a fixed ranked
+        prefix: tolerance / constraint / metadata changes (same tuples, same
+        matrix -- the stacked pair matrices are shared outright), appending
+        unranked tuples (only the new ``(ranked, new tuple)`` pair rows are
+        computed), and dropping unranked tuples (pair rows are masked out).
+        The derived evaluator is bit-identical to a fresh
+        ``CellBoundEvaluator(problem)`` -- the reused rows are the same float
+        values, and the new rows run the same subtraction -- which the
+        incremental-parity invariant checks.  Returns ``None`` when the edit
+        is not one of these shapes (caller rebuilds).
+        """
+        old = self.problem
+        if (
+            problem.attributes != old.attributes
+            or problem.num_attributes != old.num_attributes
+        ):
+            return None
+        new_matrix, old_matrix = problem.matrix, old.matrix
+        new_positions = problem.ranking.positions
+        old_positions = old.ranking.positions
+        n_old, n_new = old.num_tuples, problem.num_tuples
+        k, m = self._num_ranked, old.num_attributes
+
+        if n_new == n_old:
+            if not (
+                np.array_equal(new_matrix, old_matrix)
+                and np.array_equal(new_positions, old_positions)
+            ):
+                return None
+            return self._clone(
+                problem,
+                self._positive,
+                self._negative,
+                self._simplex_low,
+                self._simplex_high,
+                n_new,
+            )
+
+        if n_new > n_old:
+            # Appended tuples: prefix must be untouched and the new tuples
+            # unranked (the "add candidate tuples" session edit).
+            if not (
+                np.array_equal(new_positions[:n_old], old_positions)
+                and np.all(new_positions[n_old:] == 0)
+                and np.array_equal(new_matrix[:n_old], old_matrix)
+            ):
+                return None
+            ranked = old.top_k_indices()
+            added = new_matrix[n_old:]
+            new_diffs = added[None, :, :] - new_matrix[ranked][:, None, :]
+            positive = np.concatenate(
+                [
+                    self._positive.reshape(k, n_old, m),
+                    np.clip(new_diffs, 0.0, None),
+                ],
+                axis=1,
+            ).reshape(k * n_new, m)
+            negative = np.concatenate(
+                [
+                    self._negative.reshape(k, n_old, m),
+                    np.clip(new_diffs, None, 0.0),
+                ],
+                axis=1,
+            ).reshape(k * n_new, m)
+            simplex_low = np.concatenate(
+                [self._simplex_low.reshape(k, n_old), new_diffs.min(axis=2)], axis=1
+            ).reshape(k * n_new)
+            simplex_high = np.concatenate(
+                [self._simplex_high.reshape(k, n_old), new_diffs.max(axis=2)], axis=1
+            ).reshape(k * n_new)
+            return self._clone(
+                problem, positive, negative, simplex_low, simplex_high, n_new
+            )
+
+        # Dropped tuples: the surviving rows must be an (order-preserving)
+        # subsequence of the old rows, every dropped tuple unranked, and the
+        # surviving positions untouched.
+        keep = np.full(n_new, -1, dtype=int)
+        cursor = 0
+        for j in range(n_new):
+            while cursor < n_old and not (
+                np.array_equal(new_matrix[j], old_matrix[cursor])
+                and new_positions[j] == old_positions[cursor]
+            ):
+                if old_positions[cursor] != 0:
+                    return None  # a ranked tuple would have to be dropped
+                cursor += 1
+            if cursor >= n_old:
+                return None
+            keep[j] = cursor
+            cursor += 1
+        if np.any(old_positions[cursor:] != 0):
+            return None
+        shape = (k, n_old)
+        return self._clone(
+            problem,
+            self._positive.reshape(k, n_old, m)[:, keep, :].reshape(k * n_new, m),
+            self._negative.reshape(k, n_old, m)[:, keep, :].reshape(k * n_new, m),
+            self._simplex_low.reshape(shape)[:, keep].reshape(k * n_new),
+            self._simplex_high.reshape(shape)[:, keep].reshape(k * n_new),
+            n_new,
+        )
+
+    def _clone(
+        self,
+        problem: RankingProblem,
+        positive: np.ndarray,
+        negative: np.ndarray,
+        simplex_low: np.ndarray,
+        simplex_high: np.ndarray,
+        num_tuples: int,
+    ) -> "CellBoundEvaluator":
+        """An evaluator over precomputed pair matrices (no re-derivation)."""
+        clone = object.__new__(CellBoundEvaluator)
+        clone.problem = problem
+        clone._num_ranked = self._num_ranked
+        clone._num_tuples = num_tuples
+        clone._positive = positive
+        clone._negative = negative
+        clone._simplex_low = simplex_low
+        clone._simplex_high = simplex_high
+        ranked = problem.top_k_indices()
+        clone._self_index = np.arange(self._num_ranked) * num_tuples + np.asarray(
+            ranked
+        )
+        clone._eps1 = problem.tolerances.eps1
+        clone._eps2 = problem.tolerances.eps2
+        clone._given = problem.ranking.positions[ranked].astype(int)
+        return clone
+
     def _bounds_chunk(
         self, lowers: np.ndarray, uppers: np.ndarray
     ) -> list[tuple[int, int]]:

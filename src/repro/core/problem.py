@@ -125,9 +125,13 @@ class RankingProblem:
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.tolerances = tolerances if tolerances is not None else ToleranceSettings()
         self._matrix = relation.matrix(self.attributes)
+        # Frozen alongside the relation's columns: fingerprint() memoizes a
+        # content digest of this matrix, so an in-place write must raise
+        # instead of silently invalidating cache entries keyed on the digest.
+        self._matrix.flags.writeable = False
         # SHA-256 content digest, memoized by fingerprint() on first use and
-        # never invalidated -- problems are immutable by convention (every
-        # "mutation" returns a new instance).
+        # never invalidated -- problems are enforced-immutable (every
+        # "mutation" returns a new instance; see apply_delta()).
         self._fingerprint: str | None = None
         self._validate_constraints()
 
@@ -249,6 +253,49 @@ class RankingProblem:
         if np.any(weights < -tol) or abs(float(weights.sum()) - 1.0) > max(tol, 1e-6):
             return False
         return self.constraints.weights_satisfied(weights, self.attributes, tol)
+
+    def apply_delta(self, deltas) -> "RankingProblem":
+        """Apply one edit (or a chain of edits) and return the new problem.
+
+        ``deltas`` is a single :class:`~repro.core.delta.ProblemDelta` or a
+        sequence of them, applied in order.  Two things make this cheaper
+        than rebuilding from scratch:
+
+        * **Composed fingerprints** -- the child's memoized digest is
+          ``compose(parent_digest, delta_digest)`` instead of a re-hash of
+          the full attribute matrix, so fingerprinting an edit is O(edit)
+          and equal edit chains applied to equal parents dedupe in the
+          engine's content-addressed cache.
+        * **Preserved memos** -- a delta that cannot touch the attribute
+          matrix (tolerance, constraint, and ranking edits) aliases the
+          parent's frozen matrix onto the child, so the chain holds one
+          canonical array per distinct matrix (downstream consumers -- the
+          engine's cell-evaluator reuse, identity-keyed caches -- see the
+          same object, and the duplicate built during construction is
+          dropped immediately).
+
+        An empty sequence returns ``self`` unchanged.
+        """
+        from repro.core.delta import ProblemDelta, compose_fingerprints
+
+        if isinstance(deltas, ProblemDelta):
+            deltas = [deltas]
+        problem = self
+        for delta in deltas:
+            if not isinstance(delta, ProblemDelta):
+                raise TypeError(
+                    f"apply_delta expects ProblemDelta objects, got {delta!r}"
+                )
+            child = delta.apply(problem)
+            if child is problem:  # defensive: a no-op edit keeps the memo as-is
+                continue
+            if delta.preserves_matrix and child.attributes == problem.attributes:
+                child._matrix = problem._matrix
+            child._fingerprint = compose_fingerprints(
+                problem.fingerprint(), delta.fingerprint()
+            )
+            problem = child
+        return problem
 
     def with_constraints(self, constraints: ConstraintSet) -> "RankingProblem":
         """A copy of this problem with a different constraint set."""

@@ -20,8 +20,36 @@ import numpy as np
 __all__ = ["Relation"]
 
 
+def _frozen_column(values: Sequence | np.ndarray) -> np.ndarray:
+    """A read-only array for ``values``, copying only when necessary.
+
+    Arrays that are already read-only AND own their data (the columns of
+    another :class:`Relation`) are shared as-is -- this is what makes the
+    edit constructors structural-sharing.  Everything else is copied before
+    the write flag is dropped: a writable array obviously, but also a
+    read-only *view*, whose writable base could still mutate the shared
+    memory behind the memoized fingerprint's back.
+    """
+    array = np.asarray(values)
+    if array.flags.writeable or array.base is not None:
+        array = array.copy()
+        array.flags.writeable = False
+    return array
+
+
 class Relation:
-    """An immutable-by-convention column store with named attributes."""
+    """An enforced-immutable column store with named attributes.
+
+    Columns are stored as read-only NumPy arrays: any in-place write through
+    :meth:`column` or a cached matrix raises ``ValueError``.  Immutability is
+    load-bearing, not stylistic -- :meth:`RankingProblem.fingerprint
+    <repro.core.problem.RankingProblem.fingerprint>` memoizes a content
+    digest of this data, and the engine's result cache trusts that digest.
+    Edits go through the structural-sharing constructors
+    (:meth:`with_column`, :meth:`with_rows`, :meth:`without_rows`,
+    :meth:`take`, ...), which share unchanged column arrays with the parent
+    instead of copying them.
+    """
 
     def __init__(
         self,
@@ -32,7 +60,8 @@ class Relation:
 
         Args:
             columns: Mapping from attribute name to column values.  All columns
-                must have the same length.
+                must have the same length.  Writable arrays are copied (the
+                relation owns read-only storage); read-only arrays are shared.
             key: Optional name of an identifier column (not used for ranking).
         """
         if not columns:
@@ -40,7 +69,7 @@ class Relation:
         self._columns: dict[str, np.ndarray] = {}
         length: int | None = None
         for name, values in columns.items():
-            array = np.asarray(values)
+            array = _frozen_column(values)
             if array.ndim != 1:
                 raise ValueError(f"column {name!r} must be one-dimensional")
             if length is None:
@@ -122,7 +151,7 @@ class Relation:
         return name in self._columns
 
     def column(self, name: str) -> np.ndarray:
-        """Return one column (a view; treat as read-only)."""
+        """Return one column (the stored read-only array; writes raise)."""
         if name not in self._columns:
             raise KeyError(f"unknown attribute {name!r}")
         return self._columns[name]
@@ -167,11 +196,21 @@ class Relation:
         key = self._key if self._key in attributes else None
         return Relation({name: self.column(name) for name in attributes}, key=key)
 
+    @staticmethod
+    def _owned(array: np.ndarray) -> np.ndarray:
+        """Freeze a freshly-allocated array in place (no further copy).
+
+        Only for arrays this class just created and solely owns; the
+        constructor then shares them instead of copying a second time.
+        """
+        array.flags.writeable = False
+        return array
+
     def take(self, indices: Sequence[int] | np.ndarray) -> "Relation":
         """Keep only the rows at the given positions (in the given order)."""
         indices = np.asarray(indices, dtype=int)
         return Relation(
-            {name: col[indices] for name, col in self._columns.items()},
+            {name: self._owned(col[indices]) for name, col in self._columns.items()},
             key=self._key,
         )
 
@@ -180,13 +219,53 @@ class Relation:
         return self.take(np.arange(min(count, self._length)))
 
     def with_column(self, name: str, values: Sequence | np.ndarray) -> "Relation":
-        """Return a new relation with one extra (or replaced) column."""
-        array = np.asarray(values)
+        """A new relation with one extra (or replaced) column.
+
+        Structural sharing: every other column array is shared with this
+        relation (both are read-only), so the edit costs one column, not a
+        copy of the relation.
+        """
+        array = _frozen_column(values)
         if array.shape[0] != self._length:
             raise ValueError("new column length does not match relation size")
         columns = dict(self._columns)
         columns[name] = array
         return Relation(columns, key=self._key)
+
+    def with_rows(self, rows: Mapping[str, Sequence | np.ndarray]) -> "Relation":
+        """A new relation with rows appended (per-column values).
+
+        Args:
+            rows: Mapping from column name to the new rows' values for that
+                column.  Every column of this relation must be present and
+                all value sequences must have the same length.
+        """
+        missing = set(self._columns) - set(rows)
+        if missing:
+            raise ValueError(f"with_rows is missing column(s): {sorted(missing)}")
+        unknown = set(rows) - set(self._columns)
+        if unknown:
+            raise KeyError(f"with_rows got unknown column(s): {sorted(unknown)}")
+        arrays = {name: np.asarray(values) for name, values in rows.items()}
+        lengths = {array.shape[0] for array in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError("all columns must append the same number of rows")
+        return Relation(
+            {
+                name: self._owned(np.concatenate([col, arrays[name]]))
+                for name, col in self._columns.items()
+            },
+            key=self._key,
+        )
+
+    def without_rows(self, indices: Sequence[int] | np.ndarray) -> "Relation":
+        """A new relation with the rows at ``indices`` removed."""
+        drop = np.unique(np.asarray(indices, dtype=int))
+        if drop.size and (drop.min() < 0 or drop.max() >= self._length):
+            raise IndexError(f"row index out of range for {self._length} rows")
+        mask = np.ones(self._length, dtype=bool)
+        mask[drop] = False
+        return self.take(np.where(mask)[0])
 
     def drop_duplicates(self, attributes: Sequence[str] | None = None) -> "Relation":
         """Drop rows with identical values on the given attributes.
@@ -213,7 +292,9 @@ class Relation:
             col = self.column(name).astype(float)
             low, high = float(np.min(col)), float(np.max(col))
             span = high - low
-            columns[name] = (col - low) / span if span > 0 else np.zeros_like(col)
+            columns[name] = self._owned(
+                (col - low) / span if span > 0 else np.zeros_like(col)
+            )
         return Relation(columns, key=self._key)
 
     def __repr__(self) -> str:

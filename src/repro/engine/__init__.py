@@ -15,7 +15,8 @@ throughput.  It sits between :mod:`repro.core` (the algorithms) and
 """
 
 from repro.engine.cache import CacheStats, ResultCache
-from repro.engine.engine import SolveEngine, SolveOutcome, SolveRequest
+from repro.engine.context import SolveArtifacts, SolveContext
+from repro.engine.engine import IncrementalStats, SolveEngine, SolveOutcome, SolveRequest
 from repro.engine.executor import (
     BACKEND_NAMES,
     Executor,
@@ -50,6 +51,9 @@ __all__ = [
     "ResultCache",
     "SOLVE_METHODS",
     "SerialExecutor",
+    "IncrementalStats",
+    "SolveArtifacts",
+    "SolveContext",
     "SolveEngine",
     "SolveOutcome",
     "SolveRequest",

@@ -14,7 +14,9 @@ and exposes three operations:
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -24,10 +26,11 @@ from repro.core.problem import RankingProblem
 from repro.core.result import SynthesisResult
 from repro.core.symgd import SymGD, SymGDOptions
 from repro.engine.cache import ResultCache
+from repro.engine.context import SolveArtifacts, SolveContext
 from repro.engine.executor import Executor, get_executor
 from repro.engine.tasks import solve_request_task
 
-__all__ = ["SolveRequest", "SolveOutcome", "SolveEngine"]
+__all__ = ["SolveRequest", "SolveOutcome", "IncrementalStats", "SolveEngine"]
 
 #: The engine-level name for one how-to-rank request.  There is exactly one
 #: implementation of the request contract (problem + method + wire options,
@@ -39,19 +42,49 @@ SolveRequest = SynthesisRequest
 
 @dataclass
 class SolveOutcome:
-    """A solved request plus how it was served."""
+    """A solved request plus how it was served.
+
+    ``served`` is set by the delta-aware incremental path only: ``"exact"``
+    (cache hit on the child fingerprint), ``"warm"`` (solved with parent
+    artifacts), or ``"cold"`` (solved from scratch).  Batch-path outcomes
+    leave it ``None``, keeping their wire format unchanged.
+    """
 
     result: SynthesisResult
     fingerprint: str
     cache_hit: bool
     wall_time: float
+    served: str | None = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "result": self.result.to_dict(),
             "fingerprint": self.fingerprint,
             "cache_hit": self.cache_hit,
             "wall_time": self.wall_time,
+        }
+        if self.served is not None:
+            payload["served"] = self.served
+        return payload
+
+
+@dataclass
+class IncrementalStats:
+    """Counters for the delta-aware solve path (exposed in engine stats)."""
+
+    exact_hits: int = 0
+    parent_hits: int = 0
+    cold_solves: int = 0
+
+    @property
+    def solves(self) -> int:
+        return self.exact_hits + self.parent_hits + self.cold_solves
+
+    def as_dict(self) -> dict:
+        return {
+            "exact_hits": self.exact_hits,
+            "parent_hits": self.parent_hits,
+            "cold_solves": self.cold_solves,
         }
 
 
@@ -84,6 +117,15 @@ class SolveEngine:
             else ResultCache(capacity=cache_capacity, disk_path=cache_dir)
         )
         self.solver_invocations = 0
+        self.incremental_stats = IncrementalStats()
+        # Side table of cross-solve artifacts (root LP bases, incumbent
+        # weights, cell evaluators) keyed by *request* fingerprint.  Kept out
+        # of the result cache on purpose: artifacts are process-local
+        # accelerators, not part of any result's wire format, so the cold
+        # path's bytes stay untouched.
+        self._artifact_capacity = 64
+        self._artifacts: OrderedDict[str, SolveArtifacts] = OrderedDict()
+        self._artifact_lock = threading.Lock()
 
     # -- request solving ------------------------------------------------------
 
@@ -155,6 +197,149 @@ class SolveEngine:
             )
         return outcomes
 
+    # -- delta-aware incremental solving --------------------------------------
+
+    def artifacts_for(self, request_fingerprint: str) -> SolveArtifacts | None:
+        """Stored cross-solve artifacts for a request fingerprint, if any."""
+        with self._artifact_lock:
+            artifacts = self._artifacts.get(request_fingerprint)
+            if artifacts is not None:
+                self._artifacts.move_to_end(request_fingerprint)
+            return artifacts
+
+    def store_artifacts(self, artifacts: SolveArtifacts) -> None:
+        """Stash cross-solve artifacts under their request fingerprint (LRU)."""
+        with self._artifact_lock:
+            self._artifacts[artifacts.request_fingerprint] = artifacts
+            self._artifacts.move_to_end(artifacts.request_fingerprint)
+            while len(self._artifacts) > self._artifact_capacity:
+                self._artifacts.popitem(last=False)
+
+    def solve_incremental(
+        self,
+        request: SolveRequest,
+        parent_fingerprint: str | None = None,
+        aggressive: bool = False,
+    ) -> SolveOutcome:
+        """Solve one request with the delta-aware fallback chain.
+
+        Lookup falls through three tiers:
+
+        1. **Exact hit** -- the request fingerprint is already cached (an
+           edit chain revisited a state, e.g. a replayed/undone chain
+           prefix); no solver runs.
+        2. **Parent hit** -- artifacts captured from the parent solve of the
+           edit chain (addressed by ``parent_fingerprint``, the previous
+           request's fingerprint) travel with this solve; with
+           ``aggressive`` set they actively warm-start it (the exact
+           solver's root LP resumes from the parent's optimal basis and the
+           parent's weights seed the incumbent).
+        3. **Cold** -- no reusable state; the solve runs exactly as
+           :meth:`solve` would.
+
+        With ``aggressive`` off (the default) every tier returns
+        byte-identical results to a cold solve of the same request: tier 1
+        is the same request's cached result, and tier 2 attaches only
+        output-invariant artifacts (the differential oracle's
+        ``incremental_parity`` invariant checks this per scenario family).
+        Aggressive mode trades that guarantee for pivots: under tied optima
+        or a truncated node budget the solver may return a different
+        representative within the same optimality guarantees.  The solve
+        runs in-process (not on the executor): artifacts must survive the
+        round trip, and an interactive session's latency is dominated by
+        the solver, not by dispatch.
+        """
+        start = time.perf_counter()
+        key = request.fingerprint
+        cached = self.cache.get(key)
+        if cached is not None:
+            with self._artifact_lock:
+                # Counter increments share the artifact lock: concurrent
+                # session solves run on executor threads, and an
+                # unsynchronized '+=' would silently drop telemetry.
+                self.incremental_stats.exact_hits += 1
+            return SolveOutcome(
+                result=cached,
+                fingerprint=key,
+                cache_hit=True,
+                wall_time=time.perf_counter() - start,
+                served="exact",
+            )
+
+        warm = (
+            self.artifacts_for(parent_fingerprint)
+            if parent_fingerprint is not None and parent_fingerprint != key
+            else None
+        )
+        context = SolveContext(
+            warm=warm, reuse_basis=aggressive, reuse_incumbent=aggressive
+        )
+        method = get_method(request.method)
+        with self._artifact_lock:
+            self.solver_invocations += 1
+        result = method.synthesize_resolved(
+            request.problem, request.effective, context=context
+        )
+        self.cache.put(key, result)
+        context.capture_weights(result.weights)
+        captured = context.captured
+        captured.request_fingerprint = key
+        captured.problem_fingerprint = request.problem.fingerprint()
+        if (
+            captured.cell_evaluator is None
+            and warm is not None
+            and warm.cell_evaluator is not None
+        ):
+            # Carry the batched cell evaluator along the chain: reuse it
+            # verbatim for a same-content edit, row-update it for tuple /
+            # tolerance deltas, and drop it (rebuild on demand) for
+            # structural ones -- otherwise every solve would sever the
+            # evaluator chain a session's cell_error_bounds() calls rely on.
+            evaluator = warm.cell_evaluator.updated_for(request.problem)
+            if evaluator is not None:
+                captured.cell_evaluator = evaluator
+        self.store_artifacts(captured)
+        with self._artifact_lock:
+            if warm is not None:
+                self.incremental_stats.parent_hits += 1
+            else:
+                self.incremental_stats.cold_solves += 1
+        return SolveOutcome(
+            result=result,
+            fingerprint=key,
+            cache_hit=False,
+            wall_time=time.perf_counter() - start,
+            served="warm" if warm is not None else "cold",
+        )
+
+    def solve_delta(
+        self,
+        base: RankingProblem,
+        deltas,
+        method: str = "symgd",
+        params: dict | None = None,
+        aggressive: bool = False,
+    ) -> SolveOutcome:
+        """Apply a delta chain to ``base`` and solve the edited problem.
+
+        Convenience wrapper for one-shot callers: the parent request is
+        ``(base, method, params)``, so if ``base`` was solved through this
+        engine before, its artifacts warm-start the edited solve.  Session
+        loops (:meth:`repro.api.client.RankHowClient.session`) track the
+        parent fingerprint across many edits instead.
+        """
+        params = dict(params or {})
+        child = base.apply_delta(deltas)
+        if child is base:
+            parent_fingerprint = None
+        else:
+            parent_fingerprint = SolveRequest(base, method, dict(params)).fingerprint
+        return self.solve_incremental(
+            SolveRequest(child, method, params),
+            parent_fingerprint=parent_fingerprint,
+            aggressive=aggressive,
+        )
+
     # -- parallel primitives --------------------------------------------------
 
     def multi_seed_symgd(
@@ -186,15 +371,27 @@ class SolveEngine:
         """Raw ordered map on the executor (for custom per-cell sweeps)."""
         return self.executor.map_cells(fn, items)
 
-    def cell_error_bounds(self, problem: RankingProblem, cells, vectorized: bool = True):
+    def cell_error_bounds(
+        self,
+        problem: RankingProblem,
+        cells,
+        vectorized: bool = True,
+        context: SolveContext | None = None,
+    ):
         """Batched cell-error bounds fanned out over this engine's executor.
 
         Thin wrapper over :func:`repro.core.cells.cell_error_bounds_many` so
         service-side sweeps (grid seeding, cell heat maps) get the batched
-        classification and the executor fan-out in one call.
+        classification and the executor fan-out in one call.  With a
+        ``context`` (the incremental session path) the batched evaluator is
+        reused -- or incrementally row-updated for tuple deltas -- instead of
+        being rebuilt per call, and the fan-out is skipped (the evaluator
+        already classifies all cells as one matrix program in-process).
         """
         from repro.core.cells import cell_error_bounds_many
 
+        if context is not None and vectorized:
+            return context.evaluator_for(problem).bounds_many(list(cells))
         return cell_error_bounds_many(
             problem, cells, executor=self.executor, vectorized=vectorized
         )
@@ -209,6 +406,7 @@ class SolveEngine:
             "solver_invocations": self.solver_invocations,
             "executor": self.executor.stats.as_dict(),
             "cache": self.cache.stats.as_dict(),
+            "incremental": self.incremental_stats.as_dict(),
         }
 
     def close(self) -> None:

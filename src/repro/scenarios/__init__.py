@@ -33,6 +33,7 @@ from repro.scenarios.generator import (
     generate,
     generate_one,
     mutate,
+    mutation_delta,
     permute_tuples,
     rescale_problem,
     scenario_from_spec,
@@ -49,6 +50,7 @@ __all__ = [
     "generate",
     "generate_one",
     "mutate",
+    "mutation_delta",
     "permute_tuples",
     "rescale_problem",
     "scenario_from_spec",

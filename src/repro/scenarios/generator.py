@@ -26,14 +26,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.constraints import (
-    ConstraintSet,
-    PositionRangeConstraint,
-    PrecedenceConstraint,
+from repro.core.delta import (
+    DropTuplesDelta,
+    PermuteTuplesDelta,
+    ProblemDelta,
+    RescaleDelta,
+    ReweightDelta,
+    ToleranceDelta,
+    permute_problem,
+    rescale_problem_by,
 )
-from repro.core.problem import RankingProblem, ToleranceSettings
-from repro.core.ranking import Ranking
-from repro.data.relation import Relation
+from repro.core.problem import RankingProblem
 from repro.data.rng import as_generator, derive_rng
 from repro.scenarios.families import FAMILIES, list_families
 
@@ -44,6 +47,7 @@ __all__ = [
     "scenario_from_spec",
     "scenario_problem",
     "mutate",
+    "mutation_delta",
     "MUTATION_KINDS",
     "permute_tuples",
     "rescale_problem",
@@ -158,68 +162,20 @@ def scenario_problem(family: str, index: int = 0, seed: int = 0) -> RankingProbl
 def permute_tuples(problem: RankingProblem, order: np.ndarray) -> RankingProblem:
     """The same problem with its tuples re-ordered by ``order``.
 
-    ``order[j]`` is the old index of the tuple placed at new position ``j``.
-    The given ranking and every tuple-indexed constraint are remapped, so
-    the transformed problem is semantically identical: any weight vector
-    scores the permuted problem with exactly the same position error.
+    Delegates to :func:`repro.core.delta.permute_problem` (the
+    metamorphic-invariant transform and the ``permute_tuples`` delta share
+    one implementation); kept here as the scenarios-facing name.
     """
-    order = np.asarray(order, dtype=int)
-    n = problem.num_tuples
-    if sorted(order.tolist()) != list(range(n)):
-        raise ValueError("order must be a permutation of range(num_tuples)")
-    new_of_old = np.empty(n, dtype=int)
-    new_of_old[order] = np.arange(n)
-
-    relation = problem.relation.take(order)
-    positions = problem.ranking.positions[order]
-    constraints = ConstraintSet(
-        list(problem.constraints.weight_constraints),
-        [
-            PositionRangeConstraint(
-                int(new_of_old[c.tuple_index]), c.min_position, c.max_position
-            )
-            for c in problem.constraints.position_constraints
-        ],
-        [
-            PrecedenceConstraint(int(new_of_old[c.above]), int(new_of_old[c.below]))
-            for c in problem.constraints.precedence_constraints
-        ],
-    )
-    return RankingProblem(
-        relation,
-        Ranking(positions),
-        attributes=problem.attributes,
-        constraints=constraints,
-        tolerances=problem.tolerances,
-    )
+    return permute_problem(problem, order)
 
 
 def rescale_problem(problem: RankingProblem, factor: float) -> RankingProblem:
     """Scale every ranking attribute AND the tolerances by ``factor``.
 
-    Scores under any fixed weight vector scale by the same factor, so the
-    induced ranking -- and therefore the position error -- is invariant.
-    Powers of two make the float scaling exact (no rounding at tolerance
-    boundaries); the metamorphic invariant uses those.
+    Delegates to :func:`repro.core.delta.rescale_problem_by`; kept here as
+    the scenarios-facing name.
     """
-    if factor <= 0:
-        raise ValueError("factor must be positive")
-    columns = {name: problem.relation.column(name) for name in problem.relation.attribute_names}
-    for name in problem.attributes:
-        columns[name] = columns[name].astype(float) * factor
-    relation = Relation(columns, key=problem.relation.key)
-    tolerances = ToleranceSettings(
-        tie_eps=problem.tolerances.tie_eps * factor,
-        eps1=problem.tolerances.eps1 * factor,
-        eps2=problem.tolerances.eps2 * factor,
-    )
-    return RankingProblem(
-        relation,
-        Ranking(problem.ranking.positions, validate=False),
-        attributes=problem.attributes,
-        constraints=problem.constraints.copy(),
-        tolerances=tolerances,
-    )
+    return rescale_problem_by(problem, factor)
 
 
 # -- mutation -----------------------------------------------------------------------
@@ -232,6 +188,67 @@ MUTATION_KINDS: tuple[str, ...] = (
     "drop_unranked",
     "tighten_tolerance",
 )
+
+
+def mutation_delta(
+    problem: RankingProblem,
+    kind: str | None = None,
+    seed=0,
+) -> tuple[list[ProblemDelta], str]:
+    """The mutation, expressed as a :class:`ProblemDelta` chain.
+
+    Draws from the *same* RNG stream as :func:`mutate`, so
+    ``problem.apply_delta(mutation_delta(problem, kind, seed)[0])`` produces
+    a problem bit-identical in content to ``mutate(problem, kind, seed)[0]``
+    -- that equivalence is what lets an incremental session replay the
+    differential suite's mutation workloads as first-class edits (and what
+    the ``incremental_parity`` invariant leans on).  A mutation that is a
+    no-op (``drop_unranked`` with nothing unranked) returns an empty chain.
+    """
+    rng = as_generator(seed)
+    if kind is None:
+        kind = MUTATION_KINDS[int(rng.integers(0, len(MUTATION_KINDS)))]
+    if kind == "jitter":
+        matrix = problem.relation.matrix(problem.attributes)
+        # Noise and clipping are relative to each attribute's observed range,
+        # so problems whose attributes are not unit-scaled (raw NBA counts in
+        # the tens) get a small perturbation too instead of being clipped
+        # into a constant matrix.
+        low = matrix.min(axis=0, keepdims=True)
+        high = matrix.max(axis=0, keepdims=True)
+        span = np.where(high > low, high - low, 1.0)
+        noise = rng.uniform(-1e-3, 1e-3, size=matrix.shape) * span
+        jittered = np.clip(matrix + noise, low, high)
+        deltas = [
+            ReweightDelta(
+                columns={
+                    name: jittered[:, j]
+                    for j, name in enumerate(problem.attributes)
+                }
+            )
+        ]
+    elif kind == "permute":
+        deltas = [PermuteTuplesDelta(order=rng.permutation(problem.num_tuples))]
+    elif kind == "rescale":
+        deltas = [RescaleDelta(factor=float(2.0 ** int(rng.integers(-2, 3))))]
+    elif kind == "drop_unranked":
+        unranked = problem.ranking.unranked_indices()
+        if unranked.size == 0:
+            return [], kind
+        victim = int(unranked[int(rng.integers(0, unranked.size))])
+        deltas = [DropTuplesDelta(indices=(victim,))]
+    elif kind == "tighten_tolerance":
+        old = problem.tolerances
+        deltas = [
+            ToleranceDelta(
+                tie_eps=old.tie_eps / 2.0, eps1=old.eps1 / 2.0, eps2=old.eps2 / 2.0
+            )
+        ]
+    else:
+        raise ValueError(
+            f"unknown mutation kind {kind!r}; expected one of {MUTATION_KINDS}"
+        )
+    return deltas, kind
 
 
 def mutate(
@@ -255,77 +272,14 @@ def mutate(
       pushing near-boundary score gaps across the decision line.
 
     ``seed`` follows the package convention (int or shared Generator).
+
+    Implemented on :func:`mutation_delta`: the perturbation is drawn once as
+    a delta chain and applied directly, so the mutated problem is built cold
+    (content-addressed fingerprint) while an incremental session can replay
+    the very same edit via :meth:`RankingProblem.apply_delta`.
     """
-    rng = as_generator(seed)
-    if kind is None:
-        kind = MUTATION_KINDS[int(rng.integers(0, len(MUTATION_KINDS)))]
-    if kind == "jitter":
-        matrix = problem.relation.matrix(problem.attributes)
-        # Noise and clipping are relative to each attribute's observed range,
-        # so problems whose attributes are not unit-scaled (raw NBA counts in
-        # the tens) get a small perturbation too instead of being clipped
-        # into a constant matrix.
-        low = matrix.min(axis=0, keepdims=True)
-        high = matrix.max(axis=0, keepdims=True)
-        span = np.where(high > low, high - low, 1.0)
-        noise = rng.uniform(-1e-3, 1e-3, size=matrix.shape) * span
-        jittered = np.clip(matrix + noise, low, high)
-        relation = problem.relation
-        for j, name in enumerate(problem.attributes):
-            relation = relation.with_column(name, jittered[:, j])
-        mutated = RankingProblem(
-            relation,
-            Ranking(problem.ranking.positions, validate=False),
-            attributes=problem.attributes,
-            constraints=problem.constraints.copy(),
-            tolerances=problem.tolerances,
-        )
-    elif kind == "permute":
-        mutated = permute_tuples(problem, rng.permutation(problem.num_tuples))
-    elif kind == "rescale":
-        mutated = rescale_problem(problem, float(2.0 ** int(rng.integers(-2, 3))))
-    elif kind == "drop_unranked":
-        unranked = problem.ranking.unranked_indices()
-        if unranked.size == 0:
-            return problem, kind
-        victim = int(unranked[int(rng.integers(0, unranked.size))])
-        keep = np.asarray([i for i in range(problem.num_tuples) if i != victim])
-        old_positions = problem.ranking.positions
-        constraints = ConstraintSet(
-            list(problem.constraints.weight_constraints),
-            [
-                PositionRangeConstraint(
-                    c.tuple_index - (c.tuple_index > victim),
-                    c.min_position,
-                    c.max_position,
-                )
-                for c in problem.constraints.position_constraints
-                if c.tuple_index != victim
-            ],
-            [
-                PrecedenceConstraint(
-                    c.above - (c.above > victim), c.below - (c.below > victim)
-                )
-                for c in problem.constraints.precedence_constraints
-                if victim not in (c.above, c.below)
-            ],
-        )
-        mutated = RankingProblem(
-            problem.relation.take(keep),
-            Ranking(old_positions[keep]),
-            attributes=problem.attributes,
-            constraints=constraints,
-            tolerances=problem.tolerances,
-        )
-    elif kind == "tighten_tolerance":
-        old = problem.tolerances
-        mutated = problem.with_tolerances(
-            ToleranceSettings(
-                tie_eps=old.tie_eps / 2.0, eps1=old.eps1 / 2.0, eps2=old.eps2 / 2.0
-            )
-        )
-    else:
-        raise ValueError(
-            f"unknown mutation kind {kind!r}; expected one of {MUTATION_KINDS}"
-        )
+    deltas, kind = mutation_delta(problem, kind, seed)
+    mutated = problem
+    for delta in deltas:
+        mutated = delta.apply(mutated)
     return mutated, kind

@@ -5,12 +5,20 @@ datasets, fires them at a :class:`~repro.service.server.QueryServer` as a
 concurrent burst (repeating the pool so coalescing and the result cache have
 work to do), and prints the throughput / latency / cache report.
 
+With ``--session`` the demo runs the *stateful* path instead: it opens one
+edit session, drives a chain of ``scenarios.mutate()`` edits through
+:meth:`~repro.service.server.QueryServer.submit_session` (tolerance
+tightening, attribute jitter, an undo via session export/resume), and prints
+how each step was served -- ``cold`` / ``warm`` / ``exact`` -- plus the
+engine's incremental counters.
+
 Examples::
 
     python -m repro.service --dataset nba --queries 24 --distinct 4
     python -m repro.service --backend process --method symgd --json
     python -m repro.service --methods symgd,sampling --method sampling
     python -m repro.service --scenario tied_scores,heavy_tail --queries 12
+    python -m repro.service --session --scenario rank_reversal --edits 4
 """
 
 from __future__ import annotations
@@ -122,6 +130,65 @@ async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
     return server, responses
 
 
+async def run_session_demo(args: argparse.Namespace) -> tuple[QueryServer, list]:
+    """Drive one stateful session through an edit-solve-edit chain."""
+    from repro.scenarios import mutation_delta
+
+    problems = build_query_pool(
+        args.dataset,
+        1,
+        args.tuples,
+        args.seed,
+        scenario_families=args.scenario_families,
+    )
+    base = problems[0]
+    if args.method in ("symgd", "symgd_adaptive"):
+        params = {
+            "cell_size": args.cell_size,
+            "max_iterations": args.max_iterations,
+            "solver_options": {
+                "node_limit": args.node_limit,
+                "verify": False,
+                "warm_start_strategy": "none",
+            },
+        }
+    elif args.method == "rankhow":
+        params = {"node_limit": args.node_limit, "verify": False}
+    else:
+        params = {}
+
+    options = QueryServerOptions(
+        backend=args.backend,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        allowed_methods=args.allowed_methods,
+    )
+    server = QueryServer(options=options)
+    steps = []
+    kinds = ("tighten_tolerance", "jitter", "permute", "rescale")
+    async with server:
+        session_id = await server.open_session(base, args.method, params)
+        response = await server.submit_session(session_id)
+        steps.append(("base", response))
+        head = base
+        for index in range(args.edits):
+            kind = kinds[index % len(kinds)]
+            deltas, applied = mutation_delta(head, kind, seed=args.seed + index)
+            for delta in deltas:
+                head = delta.apply(head)
+            response = await server.submit_session(
+                session_id, deltas=[delta.to_dict() for delta in deltas]
+            )
+            steps.append((applied, response))
+        # Undo demo: export the chain, resume it on the same server, and
+        # re-solve -- the resumed head dedupes against the cached solve.
+        exported = server.export_session(session_id)
+        resumed = await server.resume_session(exported, session_id="resumed")
+        response = await server.submit_session(resumed)
+        steps.append(("resume", response))
+    return server, steps
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -170,6 +237,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", action="store_true",
                         help="emit the full per-request records as JSON")
+    parser.add_argument(
+        "--session",
+        action="store_true",
+        help="run the stateful-session demo (edit-solve-edit chain with a "
+        "serialize/resume step) instead of the query burst",
+    )
+    parser.add_argument("--edits", type=int, default=3,
+                        help="edits in the --session chain (default: 3)")
     args = parser.parse_args(argv)
 
     args.scenario_families = None
@@ -215,6 +290,34 @@ def main(argv: list[str] | None = None) -> int:
         args.allowed_methods = allowed
     elif args.method is None:
         args.method = "symgd"
+
+    if args.session:
+        server, steps = asyncio.run(run_session_demo(args))
+        stats = server.stats()
+        incremental = stats.incremental
+        if args.json:
+            payload = {
+                "session_demo": [
+                    {"edit": label, **response.to_dict(), "served": response.outcome.served}
+                    for label, response in steps
+                ],
+                "incremental": incremental,
+                "sessions_opened": stats.sessions_opened,
+            }
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            source = args.scenario or args.dataset
+            print(f"== repro.service session demo: {args.edits} edits x "
+                  f"{args.method} on {source} ==")
+            for label, response in steps:
+                result = response.result
+                print(f"  {label:>18s}: served={response.outcome.served:<5s} "
+                      f"error={result.error} "
+                      f"latency={response.latency * 1e3:.1f}ms")
+            print(f"  incremental counters: {incremental} | "
+                  f"sessions opened: {stats.sessions_opened}")
+        return 0
 
     server, responses = asyncio.run(run_burst(args))
     stats = server.stats()

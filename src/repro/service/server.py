@@ -13,6 +13,11 @@ into efficient work for a :class:`~repro.engine.engine.SolveEngine`:
   misses out over the executor backend.
 * **Telemetry** -- every request is recorded (latency, cache hit, coalesced,
   batch size) and aggregated by :meth:`QueryServer.stats`.
+* **Stateful sessions** -- the incremental-synthesis path: a session pins a
+  base problem server-side, clients ship only :class:`ProblemDelta` edits
+  (:meth:`QueryServer.submit_session`), solves run through the engine's
+  delta-aware fallback chain, and sessions LRU-evict beyond
+  ``max_sessions`` / export+resume via their serialized delta chain.
 
 The server is an in-process asyncio component rather than a network daemon:
 the network layer of a production deployment (HTTP, gRPC, ...) would sit in
@@ -24,11 +29,12 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.delta import deltas_from_dicts
 from repro.core.problem import RankingProblem
 from repro.engine.engine import SolveEngine, SolveOutcome, SolveRequest
 
@@ -36,6 +42,7 @@ __all__ = [
     "QueryServerOptions",
     "QueryResponse",
     "RequestRecord",
+    "ServerSession",
     "ServiceStats",
     "QueryServer",
 ]
@@ -65,6 +72,9 @@ class QueryServerOptions:
             serve; ``None`` serves every registered method.  A deployment
             restricts this to keep expensive methods (say ``tree``) off an
             interactive endpoint.
+        max_sessions: Stateful edit sessions kept alive concurrently; the
+            least recently used session is evicted when the cap is hit (its
+            exported delta chain can still be resumed later).
     """
 
     backend: str = "serial"
@@ -75,6 +85,7 @@ class QueryServerOptions:
     cache_dir: str | None = None
     history_limit: int = 10000
     allowed_methods: tuple[str, ...] | None = None
+    max_sessions: int = 32
 
 
 @dataclass
@@ -123,6 +134,50 @@ class QueryResponse:
 
 
 @dataclass
+class ServerSession:
+    """Server-side state of one interactive edit session.
+
+    The session pins a base problem and accumulates the wire form of every
+    applied delta, so it can be exported (:meth:`to_dict`) and resumed on
+    another server with identical composed fingerprints -- the resumed
+    session dedupes against whatever the original already solved.
+    """
+
+    session_id: str
+    base: RankingProblem
+    problem: RankingProblem
+    method: str
+    params: dict
+    deltas: list = field(default_factory=list)
+    last_fingerprint: str | None = None
+    edits: int = 0
+    solves: int = 0
+    aggressive: bool = False
+
+    def to_dict(self) -> dict:
+        """Portable wire form: base problem + delta chain + defaults."""
+        return {
+            "session_id": self.session_id,
+            "base": self.base.to_dict(),
+            "deltas": list(self.deltas),
+            "method": self.method,
+            "params": dict(self.params),
+            "aggressive": self.aggressive,
+        }
+
+    def info(self) -> dict:
+        """Lightweight status payload (no problem data)."""
+        return {
+            "session_id": self.session_id,
+            "method": self.method,
+            "edits": self.edits,
+            "solves": self.solves,
+            "num_tuples": self.problem.num_tuples,
+            "fingerprint": self.problem.fingerprint(),
+        }
+
+
+@dataclass
 class ServiceStats:
     """Aggregate view over every request served so far."""
 
@@ -137,6 +192,10 @@ class ServiceStats:
     throughput: float = 0.0
     wall_time: float = 0.0
     cache: dict = field(default_factory=dict)
+    sessions_open: int = 0
+    sessions_opened: int = 0
+    sessions_evicted: int = 0
+    incremental: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         return (
@@ -187,6 +246,11 @@ class QueryServer:
         )
         self._queue: asyncio.Queue | None = None
         self._inflight: dict[str, asyncio.Future] = {}
+        self._sessions: OrderedDict[str, ServerSession] = OrderedDict()
+        self._session_counter = 0
+        self._sessions_opened = 0
+        self._sessions_evicted = 0
+        self._session_tasks: set[asyncio.Task] = set()
         self._records: deque[RequestRecord] = deque(
             maxlen=max(self.options.history_limit, 1)
         )
@@ -231,6 +295,11 @@ class QueryServer:
             await self._loop_task
             self._loop_task = None
             self._queue = None
+        if self._session_tasks:
+            # Session solves run as standalone tasks (not through the batch
+            # queue); anything already submitted is still answered.
+            await asyncio.gather(*self._session_tasks, return_exceptions=True)
+            self._session_tasks.clear()
         if self._owns_engine:
             self.engine.close()
 
@@ -256,11 +325,7 @@ class QueryServer:
         """
         if self._loop_task is None or self._closing:
             raise RuntimeError("QueryServer is not running; call start() first")
-        if self._allowed_methods is not None and method not in self._allowed_methods:
-            raise ValueError(
-                f"method {method!r} is not served by this endpoint; "
-                f"allowed methods: {sorted(self._allowed_methods)}"
-            )
+        self._check_method_allowed(method)
         assert self._queue is not None
         self._request_counter += 1
         if request_id is None:
@@ -280,6 +345,21 @@ class QueryServer:
             self._queue.put_nowait((key, request))
 
         outcome, batch_size = await future
+        return self._finalize_response(
+            request_id, key, method, outcome, arrived, coalesced, batch_size
+        )
+
+    def _finalize_response(
+        self,
+        request_id: str,
+        key: str,
+        method: str,
+        outcome: SolveOutcome,
+        arrived: float,
+        coalesced: bool,
+        batch_size: int,
+    ) -> QueryResponse:
+        """Shared telemetry + response assembly for query and session paths."""
         if coalesced:
             # Every waiter on a coalesced solve gets a private result copy,
             # matching the cache's and the engine's no-aliasing guarantee.
@@ -311,6 +391,227 @@ class QueryServer:
             )
         )
         return response
+
+    # -- stateful sessions ----------------------------------------------------
+
+    def _check_method_allowed(self, method: str) -> None:
+        if self._allowed_methods is not None and method not in self._allowed_methods:
+            raise ValueError(
+                f"method {method!r} is not served by this endpoint; "
+                f"allowed methods: {sorted(self._allowed_methods)}"
+            )
+
+    def _session(self, session_id: str) -> ServerSession:
+        try:
+            session = self._sessions[session_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown (or evicted) session {session_id!r}; open_session() "
+                "or resume_session() first"
+            ) from None
+        self._sessions.move_to_end(session_id)
+        return session
+
+    def _register_session(self, session: ServerSession) -> str:
+        self._sessions[session.session_id] = session
+        self._sessions.move_to_end(session.session_id)
+        self._sessions_opened += 1
+        while len(self._sessions) > max(self.options.max_sessions, 1):
+            self._sessions.popitem(last=False)
+            self._sessions_evicted += 1
+        return session.session_id
+
+    async def open_session(
+        self,
+        problem: RankingProblem,
+        method: str = "symgd",
+        params: dict | None = None,
+        session_id: str | None = None,
+        aggressive: bool = False,
+    ) -> str:
+        """Open a stateful edit session; returns its id.
+
+        Sessions hold the base problem and every applied delta server-side,
+        so subsequent :meth:`submit_session` calls ship only edits.  The
+        least recently used session is evicted beyond
+        ``options.max_sessions``.
+        """
+        if self._loop_task is None or self._closing:
+            raise RuntimeError("QueryServer is not running; call start() first")
+        self._check_method_allowed(method)
+        params = dict(params or {})
+        # Fail fast on bad method/options, before any state is created.
+        SolveRequest(problem, method, dict(params))
+        self._session_counter += 1
+        session_id = session_id or f"sess{self._session_counter}"
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        return self._register_session(
+            ServerSession(
+                session_id=session_id,
+                base=problem,
+                problem=problem,
+                method=method,
+                params=params,
+                aggressive=aggressive,
+            )
+        )
+
+    async def submit_session(
+        self,
+        session_id: str,
+        deltas=None,
+        method: str | None = None,
+        params: dict | None = None,
+        request_id: str | None = None,
+    ) -> QueryResponse:
+        """Apply edits to a session and solve its head incrementally.
+
+        ``deltas`` is a list of :class:`~repro.core.delta.ProblemDelta`
+        objects or their wire dicts, applied in order to the session's
+        current head.  Delta application is atomic on the event loop, so
+        concurrent edits to one session serialize in arrival order; solves
+        whose edited problem matches one already in flight coalesce onto it
+        (the same in-flight table the query path uses).  The solve itself
+        goes through the engine's delta-aware fallback chain -- exact cache
+        hit, parent-artifact warm start, cold -- with the session tracking
+        the parent fingerprint across calls.
+
+        Failure semantics: invalid input (malformed delta, unknown method or
+        option) fails *before* anything is committed -- retrying the same
+        call is safe.  A failure in the solve itself happens *after* the
+        edits committed (they must: concurrent calls coalesce on the edited
+        head's fingerprint), so on a solver-side error re-submit with
+        ``deltas=None`` rather than re-sending the deltas;
+        :meth:`session_info` reports the head's fingerprint and edit count
+        for reconciliation.
+        """
+        if self._loop_task is None or self._closing:
+            raise RuntimeError("QueryServer is not running; call start() first")
+        session = self._session(session_id)
+        solve_method = method or session.method
+        self._check_method_allowed(solve_method)
+        parsed = deltas_from_dicts(list(deltas or []))
+        head = session.problem.apply_delta(parsed) if parsed else session.problem
+        # Build (and thereby validate) the request BEFORE committing the
+        # edits: a bad method/options pair must fail without advancing the
+        # session, or a client retrying the "failed" call would double-apply
+        # its deltas.
+        request = SolveRequest(
+            head,
+            solve_method,
+            dict(params if params is not None else session.params),
+        )
+        if parsed:
+            session.problem = head
+            session.deltas.extend(delta.to_dict() for delta in parsed)
+            session.edits += len(parsed)
+        key = request.fingerprint
+        parent = session.last_fingerprint
+        session.last_fingerprint = key
+        session.solves += 1
+
+        self._request_counter += 1
+        if request_id is None:
+            request_id = f"q{self._request_counter}"
+        arrived = time.perf_counter()
+        if self._started_at is None:
+            self._started_at = arrived
+
+        future = self._inflight.get(key)
+        coalesced = future is not None
+        if future is None:
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            self._inflight[key] = future
+            task = loop.create_task(
+                self._run_session_solve(key, request, parent, session.aggressive)
+            )
+            self._session_tasks.add(task)
+            task.add_done_callback(self._session_tasks.discard)
+
+        outcome, batch_size = await future
+        if outcome.served is None:
+            # The session attached to a query-path (batch) future for the
+            # same fingerprint; those outcomes never set `served`, but every
+            # session response promises it.
+            outcome = replace(outcome, served="coalesced")
+        return self._finalize_response(
+            request_id, key, solve_method, outcome, arrived, coalesced, batch_size
+        )
+
+    async def _run_session_solve(
+        self, key: str, request: SolveRequest, parent: str | None, aggressive: bool
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                None,
+                lambda: self.engine.solve_incremental(
+                    request, parent, aggressive=aggressive
+                ),
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_exception(error)
+            return
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result((outcome, 1))
+
+    def close_session(self, session_id: str) -> None:
+        """Drop a session (its exported form can still be resumed later)."""
+        if self._sessions.pop(session_id, None) is None:
+            raise ValueError(f"unknown session {session_id!r}")
+
+    def export_session(self, session_id: str) -> dict:
+        """Portable wire form of a session (base + delta chain)."""
+        return self._session(session_id).to_dict()
+
+    async def resume_session(self, data: dict, session_id: str | None = None) -> str:
+        """Rebuild a session from :meth:`export_session` output.
+
+        The delta chain replays through ``apply_delta``, so the resumed
+        head's composed fingerprint matches the exported session's -- its
+        first solve is answered from the cache if this server (or a shared
+        cache tier) solved it before.
+        """
+        if self._loop_task is None or self._closing:
+            raise RuntimeError("QueryServer is not running; call start() first")
+        method = data.get("method", "symgd")
+        self._check_method_allowed(method)
+        base = RankingProblem.from_dict(data["base"])
+        params = dict(data.get("params") or {})
+        SolveRequest(base, method, dict(params))
+        deltas = list(data.get("deltas") or [])
+        problem = base.apply_delta(deltas_from_dicts(deltas))
+        aggressive = bool(data.get("aggressive", False))
+        self._session_counter += 1
+        session_id = session_id or data.get("session_id") or f"sess{self._session_counter}"
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        return self._register_session(
+            ServerSession(
+                session_id=session_id,
+                base=base,
+                problem=problem,
+                method=method,
+                params=params,
+                deltas=deltas,
+                edits=len(deltas),
+                aggressive=aggressive,
+            )
+        )
+
+    def session_info(self, session_id: str) -> dict:
+        """Status payload of one open session."""
+        return self._session(session_id).info()
+
+    @property
+    def open_sessions(self) -> list[str]:
+        """Ids of every open session, least recently used first."""
+        return list(self._sessions)
 
     # -- batching loop --------------------------------------------------------
 
@@ -396,7 +697,13 @@ class QueryServer:
         record window (:attr:`QueryServerOptions.history_limit`).
         """
         if not self._total_requests:
-            return ServiceStats(cache=self.engine.cache.stats.as_dict())
+            return ServiceStats(
+                cache=self.engine.cache.stats.as_dict(),
+                sessions_open=len(self._sessions),
+                sessions_opened=self._sessions_opened,
+                sessions_evicted=self._sessions_evicted,
+                incremental=self.engine.incremental_stats.as_dict(),
+            )
         latencies = np.asarray([r.latency for r in self._records], dtype=float)
         wall = (
             (self._finished_at or 0.0) - (self._started_at or 0.0)
@@ -415,4 +722,8 @@ class QueryServer:
             throughput=self._total_requests / wall if wall > 0 else 0.0,
             wall_time=wall,
             cache=self.engine.cache.stats.as_dict(),
+            sessions_open=len(self._sessions),
+            sessions_opened=self._sessions_opened,
+            sessions_evicted=self._sessions_evicted,
+            incremental=self.engine.incremental_stats.as_dict(),
         )

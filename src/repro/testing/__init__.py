@@ -20,6 +20,7 @@ from repro.testing.invariants import (
     check_cell_bound_consistency,
     check_exact_dominance,
     check_executor_parity,
+    check_incremental_parity,
     check_permutation_invariance,
     check_problem_roundtrip,
     check_rescaling_invariance,
@@ -40,6 +41,7 @@ __all__ = [
     "check_cell_bound_consistency",
     "check_exact_dominance",
     "check_executor_parity",
+    "check_incremental_parity",
     "check_permutation_invariance",
     "check_problem_roundtrip",
     "check_rescaling_invariance",

@@ -54,6 +54,8 @@ __all__ = [
     "check_zero_error_witness",
     "check_vectorized_cell_bounds",
     "check_matrix_symgd_parity",
+    "check_incremental_parity",
+    "PARITY_METHOD_OPTIONS",
     "results_equal",
 ]
 
@@ -518,4 +520,117 @@ def check_cache_parity(
         )
     else:
         checks.append(_ok(invariant, method))
+    return checks
+
+
+# -- incremental synthesis ----------------------------------------------------------
+
+#: Budgets for the incremental-parity chains -- service-scale, like the
+#: oracle's fast options: parity must hold for truncated solves exactly as
+#: for exhaustive ones.  The default (exact-parity) incremental mode injects
+#: nothing into the solver, so the LP backend stays the fast default;
+#: aggressive-mode reuse is benchmarked (not parity-asserted) in
+#: ``benchmarks/test_bench_incremental.py``.
+PARITY_METHOD_OPTIONS: dict = {
+    "rankhow": {
+        "node_limit": 80,
+        "time_limit": 3.0,
+        "verify": False,
+        "warm_start_strategy": "ordinal_regression",
+    },
+    "symgd": {
+        "cell_size": 0.25,
+        "max_iterations": 5,
+        "time_limit": 2.0,
+        "solver_options": {
+            "node_limit": 50,
+            "verify": False,
+            "warm_start_strategy": "none",
+        },
+    },
+}
+
+
+def check_incremental_parity(
+    problem: RankingProblem,
+    methods: Sequence[str] = ("rankhow", "symgd"),
+    chain: Sequence[str] = ("jitter", "tighten_tolerance", "permute"),
+    seed: int = 0,
+) -> list[CheckResult]:
+    """A session's incremental solves exactly equal cold solves per edit.
+
+    Drives a chain of ``mutate()``-style edits two ways in lockstep:
+
+    * **incrementally** -- through a :class:`~repro.api.session.SynthesisSession`
+      on a fresh engine, so each solve reuses the previous solve's
+      artifacts (delta-composed fingerprints, root-basis warm starts);
+    * **cold** -- each edited problem rebuilt content-addressed and solved
+      directly through the method adapter, exactly as a stateless caller
+      would.
+
+    Every step must agree *exactly* (error, weights bit-for-bit): the
+    incremental path is an optimization, never a semantic fork.  The edited
+    problems themselves are also cross-checked (the delta-built head's
+    content digest must equal the cold-built problem's), so a delta whose
+    ``apply`` drifts from the mutation it mirrors fails here too.
+    """
+    from repro.api.registry import get_method
+    from repro.api.session import SynthesisSession
+    from repro.engine.engine import SolveEngine
+    from repro.engine.fingerprint import compute_problem_digest
+    from repro.scenarios.generator import mutation_delta
+
+    invariant = "incremental_parity"
+    checks: list[CheckResult] = []
+    for method in methods:
+        options = dict(PARITY_METHOD_OPTIONS.get(method, {}))
+        adapter = get_method(method)
+        with SolveEngine(backend="serial", cache_capacity=64) as engine:
+            session = SynthesisSession(engine, problem, method, options)
+            cold_head = problem
+            failures: list[str] = []
+            steps = 0
+
+            incremental = session.solve()
+            cold = adapter.synthesize(problem, options)
+            if not results_equal(incremental.result, cold):
+                failures.append(
+                    f"base solve diverged (incremental error "
+                    f"{incremental.result.error} vs cold {cold.error})"
+                )
+
+            for step, kind in enumerate(chain):
+                deltas, applied = mutation_delta(
+                    cold_head, kind, seed=seed * 1000 + step
+                )
+                if not deltas:
+                    continue
+                steps += 1
+                session.edit(*deltas)
+                for delta in deltas:
+                    cold_head = delta.apply(cold_head)
+                if compute_problem_digest(session.problem) != compute_problem_digest(
+                    cold_head
+                ):
+                    failures.append(
+                        f"step {step} ({applied}): delta-built head's content "
+                        "digest differs from the cold-built problem"
+                    )
+                    break
+                incremental = session.solve()
+                cold = adapter.synthesize(cold_head, options)
+                if not results_equal(incremental.result, cold):
+                    failures.append(
+                        f"step {step} ({applied}, served={incremental.served}): "
+                        f"incremental error {incremental.result.error} vs cold "
+                        f"{cold.error}, weights equal="
+                        f"{np.array_equal(incremental.result.weights, cold.weights, equal_nan=True)}"
+                    )
+            if failures:
+                checks.append(_fail(invariant, method, "; ".join(failures)))
+            else:
+                served = [record.served for record in session.history]
+                checks.append(
+                    _ok(invariant, method, f"{steps} edits, served={served}")
+                )
     return checks

@@ -26,6 +26,7 @@ from repro.testing.invariants import (
     CheckResult,
     check_cell_bound_consistency,
     check_exact_dominance,
+    check_incremental_parity,
     check_matrix_symgd_parity,
     check_permutation_invariance,
     check_problem_roundtrip,
@@ -168,6 +169,13 @@ class DifferentialOracle:
         # bit-compatible with the loops they replaced, on every family.
         checks.append(check_vectorized_cell_bounds(problem, results))
         checks.append(check_matrix_symgd_parity(problem))
+
+        # Incremental synthesis against the cold path: a session solving a
+        # chain of mutate()-style edits must return, per edit, exactly what
+        # a stateless cold solve of the edited problem returns.
+        checks.extend(
+            check_incremental_parity(problem, seed=self.mutation_seed)
+        )
 
         witness = scenario.metadata.get("zero_error_weights")
         if witness is not None:

@@ -1,0 +1,235 @@
+"""Tests for repro.core.delta: delta kinds, wire format, composed fingerprints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import ConstraintSet, PrecedenceConstraint, max_weight
+from repro.core.delta import (
+    AddTuplesDelta,
+    ConstraintDelta,
+    DropTuplesDelta,
+    PermuteTuplesDelta,
+    RerankDelta,
+    RescaleDelta,
+    ReweightDelta,
+    ToleranceDelta,
+    compose_fingerprints,
+    delta_from_dict,
+    deltas_from_dicts,
+)
+from repro.core.problem import RankingProblem, ToleranceSettings
+from repro.core.ranking import Ranking
+from repro.data.relation import Relation
+from repro.engine.fingerprint import compute_problem_digest
+from repro.scenarios import generate_one, mutate, mutation_delta
+
+
+@pytest.fixture
+def problem() -> RankingProblem:
+    relation = Relation(
+        {
+            "name": np.array(["a", "b", "c", "d", "e"]),
+            "x": [0.9, 0.7, 0.5, 0.3, 0.1],
+            "y": [0.1, 0.4, 0.6, 0.2, 0.8],
+        },
+        key="name",
+    )
+    return RankingProblem(relation, Ranking([1, 2, 3, 0, 0]))
+
+
+ALL_DELTAS = [
+    AddTuplesDelta(columns={"name": ["f"], "x": [0.25], "y": [0.35]}),
+    DropTuplesDelta(indices=(4,)),
+    ReweightDelta(columns={"x": [0.8, 0.6, 0.55, 0.2, 0.15]}),
+    RescaleDelta(factor=2.0),
+    PermuteTuplesDelta(order=(4, 3, 2, 1, 0)),
+    ToleranceDelta(tie_eps=1e-6, eps1=2e-6, eps2=0.0),
+    ConstraintDelta(add=ConstraintSet([max_weight("x", 0.9)])),
+    RerankDelta(positions=(2, 1, 3, 0, 0)),
+]
+
+
+@pytest.mark.parametrize("delta", ALL_DELTAS, ids=lambda d: d.kind)
+def test_wire_roundtrip_preserves_fingerprint(delta, problem):
+    rebuilt = delta_from_dict(delta.to_dict())
+    assert rebuilt == delta
+    assert rebuilt.fingerprint() == delta.fingerprint()
+    # Applying the rebuilt delta produces identical content.
+    assert compute_problem_digest(rebuilt.apply(problem)) == compute_problem_digest(
+        delta.apply(problem)
+    )
+
+
+@pytest.mark.parametrize("delta", ALL_DELTAS, ids=lambda d: d.kind)
+def test_apply_is_pure(delta, problem):
+    digest_before = compute_problem_digest(problem)
+    delta.apply(problem)
+    assert compute_problem_digest(problem) == digest_before
+
+
+def test_add_tuples_appends_unranked_by_default(problem):
+    child = problem.apply_delta(
+        AddTuplesDelta(columns={"name": ["f", "g"], "x": [0.2, 0.3], "y": [0.1, 0.9]})
+    )
+    assert child.num_tuples == 7
+    assert child.k == problem.k
+    assert child.ranking.positions[-2:].tolist() == [0, 0]
+    # Existing constraints / tolerances carried over untouched.
+    assert child.tolerances == problem.tolerances
+
+
+def test_add_tuples_with_rank_validates_definition_one(problem):
+    with pytest.raises(ValueError):
+        # Position 9 with only 3 ranked above violates the no-gap rule.
+        problem.apply_delta(
+            AddTuplesDelta(
+                columns={"name": ["f"], "x": [0.5], "y": [0.5]}, positions=(9,)
+            )
+        )
+
+
+def test_drop_tuples_remaps_constraints():
+    relation = Relation({"x": [0.4, 0.3, 0.2, 0.1], "y": [0.1, 0.2, 0.3, 0.4]})
+    constraints = ConstraintSet(precedence_constraints=[PrecedenceConstraint(0, 3)])
+    problem = RankingProblem(
+        relation, Ranking([1, 2, 0, 0]), constraints=constraints
+    )
+    child = problem.apply_delta(DropTuplesDelta(indices=(2,)))
+    assert child.num_tuples == 3
+    # Tuple 3 shifted to index 2; constraints referencing the victim vanish.
+    assert child.constraints.precedence_constraints == [PrecedenceConstraint(0, 2)]
+    dropped_referenced = problem.apply_delta(DropTuplesDelta(indices=(3,)))
+    assert dropped_referenced.constraints.precedence_constraints == []
+
+
+def test_drop_ranked_tuple_fails_ranking_validation(problem):
+    with pytest.raises(ValueError):
+        problem.apply_delta(DropTuplesDelta(indices=(0,)))  # position 1 vanishes
+
+
+def test_constraint_delta_add_and_remove(problem):
+    added = problem.apply_delta(ConstraintDelta(add=ConstraintSet([max_weight("x", 0.8)])))
+    assert len(added.constraints) == len(problem.constraints) + 1
+    removed = added.apply_delta(
+        ConstraintDelta(remove=ConstraintSet([max_weight("x", 0.8)]))
+    )
+    assert len(removed.constraints) == len(problem.constraints)
+    with pytest.raises(ValueError, match="not present"):
+        problem.apply_delta(
+            ConstraintDelta(remove=ConstraintSet([max_weight("y", 0.123)]))
+        )
+
+
+def test_rerank_replaces_given_ranking(problem):
+    child = problem.apply_delta(RerankDelta(positions=(3, 1, 2, 0, 0)))
+    assert child.ranking.positions[:3].tolist() == [3, 1, 2]
+    with pytest.raises(ValueError, match="positions"):
+        problem.apply_delta(RerankDelta(positions=(1, 2)))
+
+
+def test_malformed_payloads_fail_loudly(problem):
+    with pytest.raises(ValueError):
+        delta_from_dict({"kind": "no_such_kind"})
+    with pytest.raises(ValueError):
+        delta_from_dict({"no": "kind"})
+    with pytest.raises(ValueError):
+        DropTuplesDelta(indices=())
+    with pytest.raises(ValueError):
+        ReweightDelta(columns={})
+    with pytest.raises(ValueError):
+        RescaleDelta(factor=0.0)
+    with pytest.raises(ValueError):
+        ToleranceDelta(tie_eps=1.0, eps1=0.0, eps2=1.0)  # eps1 <= eps2
+    with pytest.raises(ValueError):
+        ConstraintDelta()  # adds and removes nothing
+    with pytest.raises(KeyError):
+        ReweightDelta(columns={"missing": [1, 2, 3, 4, 5]}).apply(problem)
+    with pytest.raises(IndexError):
+        DropTuplesDelta(indices=(99,)).apply(problem)
+
+
+# -- composed fingerprints ----------------------------------------------------------
+
+
+def test_composed_fingerprints_dedupe_equal_chains(problem):
+    chain = [ToleranceDelta(tie_eps=1e-6, eps1=2e-6, eps2=0.0), RescaleDelta(factor=2.0)]
+    a = problem.apply_delta(chain)
+    b = problem.apply_delta(list(chain))
+    assert a is not b
+    assert a.fingerprint() == b.fingerprint()
+    # Composed digests live in their own namespace: they never collide with
+    # the content digest of the same problem built cold.
+    assert a.fingerprint() != compute_problem_digest(a)
+    # But the CONTENT is identical to the cold construction.
+    assert compute_problem_digest(a) == compute_problem_digest(b)
+
+
+def test_composed_fingerprint_is_stepwise(problem):
+    d1 = ToleranceDelta(tie_eps=1e-6, eps1=2e-6, eps2=0.0)
+    d2 = RescaleDelta(factor=4.0)
+    chained = problem.apply_delta([d1, d2])
+    stepped = problem.apply_delta(d1).apply_delta(d2)
+    assert chained.fingerprint() == stepped.fingerprint()
+    expected = compose_fingerprints(
+        compose_fingerprints(problem.fingerprint(), d1.fingerprint()),
+        d2.fingerprint(),
+    )
+    assert chained.fingerprint() == expected
+
+
+def test_different_deltas_do_not_collide(problem):
+    a = problem.apply_delta(RescaleDelta(factor=2.0))
+    b = problem.apply_delta(RescaleDelta(factor=4.0))
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_apply_delta_preserves_matrix_memo(problem):
+    shared = problem.apply_delta(ToleranceDelta(tie_eps=1e-6, eps1=2e-6, eps2=0.0))
+    assert shared.matrix is problem.matrix
+    rebuilt = problem.apply_delta(RescaleDelta(factor=2.0))
+    assert rebuilt.matrix is not problem.matrix
+    # Shared or not, the matrix stays write-protected.
+    with pytest.raises(ValueError):
+        shared.matrix[0, 0] = 1.0
+
+
+def test_apply_delta_empty_chain_returns_self(problem):
+    assert problem.apply_delta([]) is problem
+
+
+def test_apply_delta_rejects_non_deltas(problem):
+    with pytest.raises(TypeError):
+        problem.apply_delta(["tighten"])
+
+
+# -- equivalence with scenarios.mutate ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kind", ("jitter", "permute", "rescale", "drop_unranked", "tighten_tolerance")
+)
+def test_mutation_delta_matches_mutate_bit_for_bit(kind):
+    scenario = generate_one("rank_reversal", 0, 123)
+    mutated, applied = mutate(scenario.problem, kind=kind, seed=17)
+    deltas, applied_delta = mutation_delta(scenario.problem, kind=kind, seed=17)
+    assert applied == applied_delta
+    if not deltas:
+        assert mutated is scenario.problem
+        return
+    replayed = scenario.problem.apply_delta(deltas)
+    assert compute_problem_digest(replayed) == compute_problem_digest(mutated)
+
+
+def test_mutation_delta_chain_round_trips_the_wire():
+    scenario = generate_one("heavy_tail", 0, 9)
+    head = scenario.problem
+    wire = []
+    for step, kind in enumerate(("jitter", "tighten_tolerance", "permute")):
+        deltas, _ = mutation_delta(head, kind, seed=step)
+        wire.extend(delta.to_dict() for delta in deltas)
+        head = head.apply_delta(deltas)
+    replayed = scenario.problem.apply_delta(deltas_from_dicts(wire))
+    assert replayed.fingerprint() == head.fingerprint()
+    assert compute_problem_digest(replayed) == compute_problem_digest(head)

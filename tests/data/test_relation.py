@@ -108,3 +108,88 @@ def test_normalized_constant_column():
 
 def test_repr_mentions_size(players):
     assert "n=4" in repr(players)
+
+
+# -- enforced immutability ----------------------------------------------------------
+
+
+def test_columns_are_read_only(players):
+    with pytest.raises(ValueError):
+        players.column("pts")[0] = 99.0
+    with pytest.raises(ValueError):
+        players.column("name")[0] = "z"
+
+
+def test_constructor_copies_writable_input_arrays():
+    values = np.array([1.0, 2.0, 3.0])
+    relation = Relation({"x": values})
+    # The caller's array stays writable and disconnected from the relation.
+    values[0] = 42.0
+    assert relation.column("x")[0] == 1.0
+    assert values.flags.writeable
+
+
+def test_read_only_columns_are_shared_not_copied(players):
+    projected = players.project(["pts", "ast"])
+    assert projected.column("pts") is players.column("pts")
+    with_extra = players.with_column("reb", [1.0, 2.0, 3.0, 4.0])
+    assert with_extra.column("pts") is players.column("pts")
+
+
+def test_mutation_cannot_invalidate_memoized_fingerprint(players):
+    """Regression: a silent in-place write used to stale the cached digest."""
+    from repro.core.problem import RankingProblem
+    from repro.core.ranking import Ranking
+    from repro.engine.fingerprint import compute_problem_digest
+
+    problem = RankingProblem(players, Ranking([1, 2, 3, 0]))
+    first = problem.fingerprint()
+    for array in (problem.relation.column("pts"), problem.matrix):
+        with pytest.raises(ValueError):
+            array[0] = -1.0
+    assert problem.fingerprint() == first
+    assert compute_problem_digest(problem) == first
+
+
+# -- structural-sharing edit constructors -------------------------------------------
+
+
+def test_with_rows_appends(players):
+    grown = players.with_rows(
+        {"name": ["e", "f"], "pts": [15.0, 25.0], "ast": [3.0, 4.0]}
+    )
+    assert grown.num_tuples == 6
+    assert grown.column("pts").tolist() == [10.0, 20.0, 30.0, 20.0, 15.0, 25.0]
+    assert grown.column("name").tolist()[-2:] == ["e", "f"]
+    assert grown.key == "name"
+    # Parent untouched.
+    assert players.num_tuples == 4
+
+
+def test_with_rows_validates_columns(players):
+    with pytest.raises(ValueError, match="missing"):
+        players.with_rows({"pts": [1.0], "ast": [2.0]})
+    with pytest.raises(KeyError, match="unknown"):
+        players.with_rows(
+            {"name": ["e"], "pts": [1.0], "ast": [2.0], "reb": [3.0]}
+        )
+    with pytest.raises(ValueError, match="same number"):
+        players.with_rows({"name": ["e"], "pts": [1.0, 2.0], "ast": [2.0]})
+
+
+def test_without_rows_drops(players):
+    shrunk = players.without_rows([1, 3])
+    assert shrunk.num_tuples == 2
+    assert shrunk.column("name").tolist() == ["a", "c"]
+    with pytest.raises(IndexError):
+        players.without_rows([9])
+
+
+def test_read_only_view_of_writable_base_is_copied():
+    """A frozen view cannot smuggle mutable memory past the freeze."""
+    base = np.arange(6, dtype=float)
+    view = base[:4]
+    view.flags.writeable = False
+    relation = Relation({"x": view})
+    base[0] = 99.0
+    assert relation.column("x")[0] == 0.0
