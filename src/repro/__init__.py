@@ -35,6 +35,9 @@ Sub-packages:
   ``mutate()`` API, addressable through the request wire format.
 * :mod:`repro.testing` -- the differential / metamorphic oracle that
   cross-checks every registered method on generated scenarios.
+* :mod:`repro.obs` -- end-to-end observability: span tracing (service ->
+  engine -> executor -> solver), a unified metrics registry with
+  Prometheus/JSON exporters, and the workload profile recorder.
 
 The api, engine, and service layers are exported lazily
 (``repro.RankHowClient``, ``repro.SolveEngine``, ``repro.QueryServer``) so
@@ -112,6 +115,11 @@ __all__ = [
     "scenario_families",
     "DifferentialOracle",
     "OracleReport",
+    "Observability",
+    "Tracer",
+    "MetricsRegistry",
+    "WorkloadProfile",
+    "WorkloadRecorder",
     "__version__",
 ]
 
@@ -136,6 +144,11 @@ _LAZY_EXPORTS = {
     "scenario_families": ("repro.scenarios", "list_families"),
     "DifferentialOracle": ("repro.testing", "DifferentialOracle"),
     "OracleReport": ("repro.testing", "OracleReport"),
+    "Observability": ("repro.obs", "Observability"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "WorkloadProfile": ("repro.obs", "WorkloadProfile"),
+    "WorkloadRecorder": ("repro.obs", "WorkloadRecorder"),
 }
 
 

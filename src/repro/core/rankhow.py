@@ -21,6 +21,7 @@ from repro.core.formulation import RankHowFormulation
 from repro.core.precision import verify_weights
 from repro.core.problem import RankingProblem
 from repro.core.result import SynthesisResult
+from repro.obs.trace import span as obs_span
 from repro.solvers.branch_and_bound import BranchAndBoundSolver, SolverOptions
 from repro.solvers.milp import MILPStatus
 
@@ -135,6 +136,30 @@ class RankHow:
             A :class:`SynthesisResult`; ``optimal`` is ``True`` only when the
             branch-and-bound proved optimality within its limits.
         """
+        with obs_span("solver.rankhow", k=problem.k) as sp:
+            result = self._solve(problem, cell_bounds, warm_start, context)
+            if sp:
+                diagnostics = result.diagnostics
+                sp.set_attributes(
+                    error=int(result.error),
+                    optimal=bool(result.optimal),
+                    nodes=int(result.nodes),
+                    indicators=int(diagnostics.get("indicators", 0)),
+                    eliminated=int(diagnostics.get("eliminated", 0)),
+                    lp_iterations=int(diagnostics.get("lp_iterations", 0)),
+                    warm_started_nodes=int(
+                        diagnostics.get("warm_started_nodes", 0)
+                    ),
+                )
+            return result
+
+    def _solve(
+        self,
+        problem: RankingProblem,
+        cell_bounds: tuple[np.ndarray, np.ndarray] | None,
+        warm_start: np.ndarray | None,
+        context,
+    ) -> SynthesisResult:
         options = self.options
         start = time.perf_counter()
         formulation = RankHowFormulation(

@@ -28,6 +28,7 @@ from repro.core.problem import RankingProblem
 from repro.core.rankhow import RankHow, RankHowOptions
 from repro.core.result import SynthesisResult
 from repro.core.scoring import induced_ranks
+from repro.obs.trace import span as obs_span
 from repro.core.seeds import get_seed_strategy
 from repro.data.rng import as_generator
 
@@ -254,23 +255,33 @@ class SymGD:
         options = self.options
         start = time.perf_counter()
 
-        seed = self._seed(problem)
-        descent = _Descent(options, problem, seed, _seed_error(problem, seed))
-        solver = RankHow(options.solver_options)
+        with obs_span("solver.symgd", k=problem.k) as sp:
+            seed = self._seed(problem)
+            descent = _Descent(options, problem, seed, _seed_error(problem, seed))
+            solver = RankHow(options.solver_options)
 
-        def time_left() -> float | None:
-            if options.time_limit is None:
-                return None
-            return options.time_limit - (time.perf_counter() - start)
+            def time_left() -> float | None:
+                if options.time_limit is None:
+                    return None
+                return options.time_limit - (time.perf_counter() - start)
 
-        def out_of_time() -> bool:
-            remaining = time_left()
-            return remaining is not None and remaining <= 0
+            def out_of_time() -> bool:
+                remaining = time_left()
+                return remaining is not None and remaining <= 0
 
-        while descent.active(out_of_time()):
-            descent.step(solver, time_left())
+            while descent.active(out_of_time()):
+                descent.step(solver, time_left())
 
-        return descent.result(time.perf_counter() - start)
+            result = descent.result(time.perf_counter() - start)
+            if sp:
+                sp.set_attributes(
+                    error=int(result.error),
+                    iterations=int(result.iterations),
+                    lp_iterations=int(
+                        result.diagnostics.get("lp_iterations", 0)
+                    ),
+                )
+            return result
 
     def solve_multi_seed(
         self,

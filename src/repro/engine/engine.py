@@ -25,10 +25,11 @@ from repro.api.request import SynthesisRequest
 from repro.core.problem import RankingProblem
 from repro.core.result import SynthesisResult
 from repro.core.symgd import SymGD, SymGDOptions
-from repro.engine.cache import ResultCache
+from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.context import SolveArtifacts, SolveContext
-from repro.engine.executor import Executor, get_executor
+from repro.engine.executor import Executor, ExecutorStats, get_executor
 from repro.engine.tasks import solve_request_task
+from repro.obs.trace import adopt_results, pack_tasks, run_packed_task
 
 __all__ = ["SolveRequest", "SolveOutcome", "IncrementalStats", "SolveEngine"]
 
@@ -99,6 +100,11 @@ class SolveEngine:
             create one from ``cache_capacity`` / ``cache_dir``.
         cache_capacity: In-memory LRU size for the created cache.
         cache_dir: Optional on-disk JSON tier for the created cache.
+        obs: Optional :class:`~repro.obs.Observability` bundle.  With a
+            tracer, every dispatch opens spans (cache decision, executor
+            queue-wait/run, solver internals); with a metrics registry, the
+            engine's counters surface as export-time collector series.
+            ``None`` (the default) costs nothing on any path.
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class SolveEngine:
         cache: ResultCache | None = None,
         cache_capacity: int = 512,
         cache_dir: str | Path | None = None,
+        obs=None,
     ) -> None:
         self.executor = get_executor(backend, max_workers)
         # Explicit None check: an empty ResultCache is falsy (it has __len__).
@@ -118,6 +125,9 @@ class SolveEngine:
         )
         self.solver_invocations = 0
         self.incremental_stats = IncrementalStats()
+        self.obs = None
+        if obs is not None:
+            self.attach_obs(obs)
         # Side table of cross-solve artifacts (root LP bases, incumbent
         # weights, cell evaluators) keyed by *request* fingerprint.  Kept out
         # of the result cache on purpose: artifacts are process-local
@@ -126,6 +136,81 @@ class SolveEngine:
         self._artifact_capacity = 64
         self._artifacts: OrderedDict[str, SolveArtifacts] = OrderedDict()
         self._artifact_lock = threading.Lock()
+
+    # -- observability --------------------------------------------------------
+
+    def attach_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` bundle (idempotent).
+
+        Registers the engine's collector on the bundle's metrics registry so
+        cache / executor / incremental counters appear in every export
+        without double bookkeeping.  A server sharing its bundle with an
+        existing engine calls this instead of rebuilding the engine.
+        """
+        if obs is self.obs:
+            return
+        self.obs = obs
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> dict:
+        """Engine counters as export-time metric series (see MetricsRegistry)."""
+        cache = self.cache.stats
+        executor = self.executor.stats
+        incremental = self.incremental_stats
+        return {
+            "repro_engine_solver_invocations_total": (
+                "counter", "Solver invocations", float(self.solver_invocations),
+            ),
+            "repro_engine_cache_hits_total": (
+                "counter", "Result-cache hits", float(cache.hits),
+            ),
+            "repro_engine_cache_misses_total": (
+                "counter", "Result-cache misses", float(cache.misses),
+            ),
+            "repro_engine_cache_evictions_total": (
+                "counter", "Result-cache evictions", float(cache.evictions),
+            ),
+            "repro_engine_cache_disk_hits_total": (
+                "counter", "Result-cache disk-tier hits", float(cache.disk_hits),
+            ),
+            "repro_engine_executor_tasks_total": (
+                "counter", "Executor tasks fanned out", float(executor.tasks),
+            ),
+            "repro_engine_executor_batches_total": (
+                "counter", "Executor map batches", float(executor.batches),
+            ),
+            "repro_engine_incremental_served_total": (
+                "counter",
+                "Incremental solves by fallback tier",
+                {
+                    ("exact",): float(incremental.exact_hits),
+                    ("warm",): float(incremental.parent_hits),
+                    ("cold",): float(incremental.cold_solves),
+                },
+                ("tier",),
+            ),
+        }
+
+    def _tracer(self):
+        obs = self.obs
+        if obs is not None and obs.tracer is not None and obs.tracer.enabled:
+            return obs.tracer
+        return None
+
+    def reset_stats(self) -> None:
+        """Zero every counter reported by :meth:`stats`.
+
+        Bench/export consumers call this between measurement legs so the
+        schema test can assert monotonic growth from a known origin.  The
+        cache and executor stats objects are replaced wholesale; note a
+        *shared* cache's counters are reset for every engine sharing it.
+        """
+        with self._artifact_lock:
+            self.solver_invocations = 0
+            self.incremental_stats = IncrementalStats()
+        self.executor.stats = ExecutorStats()
+        self.cache.stats = CacheStats()
 
     # -- request solving ------------------------------------------------------
 
@@ -138,28 +223,44 @@ class SolveEngine:
         """Solve one request (cache-aware); see :meth:`solve_batch`."""
         return self.solve_batch([SolveRequest(problem, method, dict(params or {}))])[0]
 
-    def solve_batch(self, requests: list[SolveRequest]) -> list[SolveOutcome]:
+    def solve_batch(
+        self, requests: list[SolveRequest], contexts=None
+    ) -> list[SolveOutcome]:
         """Solve a micro-batch of requests.
 
         Identical requests inside the batch collapse onto one solve; requests
         seen before are answered from the cache without invoking any solver;
         the remaining distinct misses run on the executor in parallel.  The
         returned list is aligned with ``requests``.
+
+        ``contexts`` (optional, aligned with ``requests``) carries each
+        request's parent :class:`~repro.obs.SpanContext` when tracing is on:
+        every request gets an ``engine.dispatch`` span in its own trace
+        recording the cache decision (``hit`` / ``miss`` / ``dedup``), and a
+        miss's executor task span (queue wait vs. run time, plus the solver
+        spans recorded inside the worker) nests under its dispatch span --
+        including across the process backend, where span records travel back
+        with the result and are re-attached here.
         """
         start = time.perf_counter()
+        tracer = self._tracer()
         keys = [request.fingerprint for request in requests]
 
         cached: dict[str, SynthesisResult] = {}
         pending: dict[str, SolveRequest] = {}
-        for key, request in zip(keys, requests):
+        parent_ctx: dict[str, object] = {}
+        for index, (key, request) in enumerate(zip(keys, requests)):
             if key in cached or key in pending:
                 continue
+            if tracer is not None and contexts is not None:
+                parent_ctx[key] = contexts[index]
             result = self.cache.get(key)
             if result is not None:
                 cached[key] = result
             else:
                 pending[key] = request
 
+        dispatch_spans: dict[str, object] = {}
         if pending:
             # The method adapter travels as an object (not a name).  The
             # instance pickles by value, but its *class* pickles by
@@ -172,21 +273,60 @@ class SolveEngine:
                 for request in pending.values()
             ]
             self.solver_invocations += len(payloads)
-            solved = self.executor.map_cells(solve_request_task, payloads)
+            if tracer is not None:
+                for key, request in pending.items():
+                    dispatch_spans[key] = tracer.span(
+                        "engine.dispatch",
+                        parent=parent_ctx.get(key),
+                        outcome="miss",
+                        fingerprint=key,
+                        method=request.method,
+                        backend=self.executor.name,
+                        batch_size=len(requests),
+                    )
+                packed = pack_tasks(
+                    solve_request_task,
+                    payloads,
+                    "engine.task",
+                    contexts=[dispatch_spans[key].context for key in pending],
+                )
+                solved = adopt_results(
+                    tracer, self.executor.map_cells(run_packed_task, packed)
+                )
+            else:
+                solved = self.executor.map_cells(solve_request_task, payloads)
             for key, result in zip(pending.keys(), solved):
                 self.cache.put(key, result)
                 cached[key] = result
+                span = dispatch_spans.get(key)
+                if span is not None:
+                    span.set_attribute("error", float(result.error))
+                    span.finish()
 
         wall = time.perf_counter() - start
         outcomes = []
         emitted: set[str] = set()
-        for key in keys:
+        for index, key in enumerate(keys):
             result = cached[key]
             # Duplicates of one fingerprint inside a batch get private
             # copies, matching the cache's no-aliasing guarantee.
-            if key in emitted:
+            duplicate = key in emitted
+            if duplicate:
                 result = result.copy()
             emitted.add(key)
+            if tracer is not None and (duplicate or key not in pending):
+                # Hits and intra-batch duplicates record an (instant)
+                # dispatch span of their own so every request's trace shows
+                # its cache decision exactly once; the fingerprint attribute
+                # links a dedup copy back to the primary solve's span.
+                tracer.span(
+                    "engine.dispatch",
+                    parent=contexts[index] if contexts is not None else None,
+                    outcome="dedup" if duplicate else "hit",
+                    fingerprint=key,
+                    method=requests[index].method,
+                    batch_size=len(requests),
+                ).finish()
             outcomes.append(
                 SolveOutcome(
                     result=result,
@@ -223,6 +363,11 @@ class SolveEngine:
     ) -> SolveOutcome:
         """Solve one request with the delta-aware fallback chain.
 
+        When tracing is on, the solve runs inside an
+        ``engine.solve_incremental`` span recording which tier served it
+        (``exact``/``warm``/``cold``); the solver's own spans nest under it
+        because incremental solves run in-process.
+
         Lookup falls through three tiers:
 
         1. **Exact hit** -- the request fingerprint is already cached (an
@@ -249,6 +394,25 @@ class SolveEngine:
         round trip, and an interactive session's latency is dominated by
         the solver, not by dispatch.
         """
+        tracer = self._tracer()
+        if tracer is None:
+            return self._solve_incremental(request, parent_fingerprint, aggressive)
+        with tracer.span(
+            "engine.solve_incremental",
+            method=request.method,
+            fingerprint=request.fingerprint,
+            aggressive=aggressive,
+        ) as span:
+            outcome = self._solve_incremental(request, parent_fingerprint, aggressive)
+            span.set_attributes(served=outcome.served, cache_hit=outcome.cache_hit)
+            return outcome
+
+    def _solve_incremental(
+        self,
+        request: SolveRequest,
+        parent_fingerprint: str | None,
+        aggressive: bool,
+    ) -> SolveOutcome:
         start = time.perf_counter()
         key = request.fingerprint
         cached = self.cache.get(key)

@@ -1,0 +1,165 @@
+"""Exporters: Prometheus text exposition and structured JSON.
+
+Both renderers consume :meth:`repro.obs.metrics.MetricsRegistry.collect`
+output, so registered instruments and collector-supplied series export
+identically.  A small :func:`parse_prometheus` round-trips the text format
+back into ``{(name, labels): value}`` -- the CI metrics smoke step and the
+observability tests use it to assert the exposition actually parses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "parse_prometheus",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, labels: dict, snapshot: dict) -> list[str]:
+    lines = []
+    bounds = snapshot["buckets"]["bounds"]
+    counts = snapshot["buckets"]["counts"]
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        bucket_labels = dict(labels, le=_format_value(bound))
+        lines.append(f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}")
+    cumulative += counts[-1]
+    bucket_labels = dict(labels, le="+Inf")
+    lines.append(f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}")
+    lines.append(f"{name}_sum{_format_labels(labels)} {_format_value(snapshot['sum'])}")
+    lines.append(f"{name}_count{_format_labels(labels)} {snapshot['count']}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry (families + collectors) in Prometheus text exposition."""
+    lines: list[str] = []
+    for name, family in sorted(registry.collect().items()):
+        kind = family["kind"]
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        if "series" in family:
+            series = family["series"]
+        else:
+            series = [{"labels": {}, "value": family["value"]}]
+        for sample in series:
+            labels = sample["labels"]
+            value = sample["value"]
+            if kind == "histogram":
+                lines.extend(_histogram_lines(name, labels, value))
+            else:
+                lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry, indent: int | None = None) -> str:
+    """The registry as structured JSON (same content as the text format)."""
+    return json.dumps(registry.collect(), indent=indent, sort_keys=True)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text exposition into ``{(name, ((label, value), ...)): float}``.
+
+    Supports exactly what :func:`render_prometheus` emits (no exemplars, no
+    timestamps); a malformed line raises ``ValueError`` so the CI smoke step
+    fails loudly on a bad export.
+    """
+    samples: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        if value_part == "+Inf":
+            value = math.inf
+        elif value_part == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_part)
+        labels: tuple = ()
+        name = name_part
+        if name_part.endswith("}"):
+            brace = name_part.index("{")
+            name = name_part[:brace]
+            body = name_part[brace + 1 : -1]
+            parsed = []
+            for pair in _split_label_pairs(body):
+                label_name, _, label_value = pair.partition("=")
+                if not (label_value.startswith('"') and label_value.endswith('"')):
+                    raise ValueError(f"malformed label in line: {line!r}")
+                unescaped = (
+                    label_value[1:-1]
+                    .replace(r"\n", "\n")
+                    .replace(r"\"", '"')
+                    .replace(r"\\", "\\")
+                )
+                parsed.append((label_name, unescaped))
+            labels = tuple(sorted(parsed))
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"malformed metric name in line: {line!r}")
+        samples[(name, labels)] = value
+    return samples
+
+
+def _split_label_pairs(body: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    pairs = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs

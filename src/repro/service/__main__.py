@@ -12,6 +12,13 @@ tightening, attribute jitter, an undo via session export/resume), and prints
 how each step was served -- ``cold`` / ``warm`` / ``exact`` -- plus the
 engine's incremental counters.
 
+Observability flags: ``--trace`` turns on end-to-end span tracing,
+``--trace-out trace.json`` dumps the slowest trace as a JSON span tree,
+``--profile-out workload.jsonl`` records the workload profile (one JSON line
+per request), and ``--metrics-prom`` / ``--metrics-json`` print the unified
+metrics registry (service + engine + cache counters, latency histogram)
+after the run.
+
 Examples::
 
     python -m repro.service --dataset nba --queries 24 --distinct 4
@@ -19,6 +26,7 @@ Examples::
     python -m repro.service --methods symgd,sampling --method sampling
     python -m repro.service --scenario tied_scores,heavy_tail --queries 12
     python -m repro.service --session --scenario rank_reversal --edits 4
+    python -m repro.service --trace --trace-out trace.json --metrics-prom
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import sys
 from repro.api.registry import list_methods
 from repro.bench.harness import csrankings_problem, nba_problem, synthetic_problem
 from repro.core.problem import RankingProblem
+from repro.obs import Observability
 from repro.service.server import QueryServer, QueryServerOptions
 
 
@@ -120,7 +129,7 @@ async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
         cache_dir=args.cache_dir,
         allowed_methods=args.allowed_methods,
     )
-    server = QueryServer(options=options)
+    server = QueryServer(options=options, obs=args.obs)
     async with server:
         tasks = [
             server.submit(problems[i % len(problems)], args.method, params)
@@ -163,7 +172,7 @@ async def run_session_demo(args: argparse.Namespace) -> tuple[QueryServer, list]
         cache_dir=args.cache_dir,
         allowed_methods=args.allowed_methods,
     )
-    server = QueryServer(options=options)
+    server = QueryServer(options=options, obs=args.obs)
     steps = []
     kinds = ("tighten_tolerance", "jitter", "permute", "rescale")
     async with server:
@@ -187,6 +196,28 @@ async def run_session_demo(args: argparse.Namespace) -> tuple[QueryServer, list]
         response = await server.submit_session(resumed)
         steps.append(("resume", response))
     return server, steps
+
+
+def emit_observability(args: argparse.Namespace, server: QueryServer) -> None:
+    """Post-run exports: metrics dumps, slowest-trace JSON, profile close."""
+    if args.metrics_prom:
+        sys.stdout.write(server.export_metrics_prometheus())
+    if args.metrics_json:
+        print(server.export_metrics_json(indent=2))
+    if args.obs is not None:
+        if args.trace_out and args.obs.tracer is not None:
+            slowest = args.obs.tracer.slowest_traces(1)
+            if slowest:
+                with open(args.trace_out, "w", encoding="utf-8") as handle:
+                    json.dump(slowest[0], handle, indent=2)
+                    handle.write("\n")
+                print(f"slowest trace ({slowest[0]['spans']} spans, "
+                      f"{slowest[0]['duration'] * 1e3:.1f}ms) -> {args.trace_out}",
+                      file=sys.stderr)
+        if args.profile_out and args.obs.profile is not None:
+            print(f"workload profile ({len(args.obs.profile)} records) -> "
+                  f"{args.profile_out}", file=sys.stderr)
+        args.obs.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -245,6 +276,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--edits", type=int, default=3,
                         help="edits in the --session chain (default: 3)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable end-to-end span tracing for the run")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the slowest trace as a JSON span tree "
+                        "(implies --trace)")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="append the workload profile (one JSON line per "
+                        "request) to PATH")
+    parser.add_argument("--metrics-prom", action="store_true",
+                        help="print the metrics registry in Prometheus text "
+                        "format after the run")
+    parser.add_argument("--metrics-json", action="store_true",
+                        help="print the metrics registry as JSON after the run")
     args = parser.parse_args(argv)
 
     args.scenario_families = None
@@ -291,6 +335,12 @@ def main(argv: list[str] | None = None) -> int:
     elif args.method is None:
         args.method = "symgd"
 
+    # Tracing / profiling need an explicit bundle; metrics exports work off
+    # the server's default metrics-only bundle either way.
+    args.obs = None
+    if args.trace or args.trace_out or args.profile_out:
+        args.obs = Observability.enabled(profile_path=args.profile_out)
+
     if args.session:
         server, steps = asyncio.run(run_session_demo(args))
         stats = server.stats()
@@ -317,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
                       f"latency={response.latency * 1e3:.1f}ms")
             print(f"  incremental counters: {incremental} | "
                   f"sessions opened: {stats.sessions_opened}")
+        emit_observability(args, server)
         return 0
 
     server, responses = asyncio.run(run_burst(args))
@@ -348,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {response.request_id}: error={result.error} "
                   f"cache_hit={response.cache_hit} coalesced={response.coalesced} "
                   f"latency={response.latency * 1e3:.1f}ms")
+    emit_observability(args, server)
     return 0
 
 

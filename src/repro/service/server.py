@@ -12,7 +12,12 @@ into efficient work for a :class:`~repro.engine.engine.SolveEngine`:
   dedups them, serves repeats from the result cache, and fans the distinct
   misses out over the executor backend.
 * **Telemetry** -- every request is recorded (latency, cache hit, coalesced,
-  batch size) and aggregated by :meth:`QueryServer.stats`.
+  batch size) and aggregated by :meth:`QueryServer.stats`; full-run latency
+  percentiles come from a bounded streaming histogram, counters flow into a
+  :class:`~repro.obs.MetricsRegistry` (Prometheus/JSON exports), and with an
+  :class:`~repro.obs.Observability` bundle attached every request carries a
+  trace from service intake through engine dispatch down to solver pivots,
+  plus an append-only workload profile (JSONL) for replay.
 * **Stateful sessions** -- the incremental-synthesis path: a session pins a
   base problem server-side, clients ship only :class:`ProblemDelta` edits
   (:meth:`QueryServer.submit_session`), solves run through the engine's
@@ -32,11 +37,12 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from repro.core.delta import deltas_from_dicts
 from repro.core.problem import RankingProblem
 from repro.engine.engine import SolveEngine, SolveOutcome, SolveRequest
+from repro.obs import Observability
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, run_in_context
 
 __all__ = [
     "QueryServerOptions",
@@ -179,7 +185,15 @@ class ServerSession:
 
 @dataclass
 class ServiceStats:
-    """Aggregate view over every request served so far."""
+    """Aggregate view over every request served so far.
+
+    Counters and the latency distribution (mean/p50/p95/p99/max) cover the
+    *whole lifetime* of the server: percentiles come from a bounded
+    streaming histogram, not from the retained per-request records.
+    ``history_window`` reports how many recent :class:`RequestRecord`
+    entries :attr:`QueryServer.records` still holds -- only that
+    drill-down view is windowed.
+    """
 
     requests: int = 0
     coalesced: int = 0
@@ -187,10 +201,13 @@ class ServiceStats:
     batches: int = 0
     solver_invocations: int = 0
     mean_latency: float = 0.0
+    p50_latency: float = 0.0
     p95_latency: float = 0.0
+    p99_latency: float = 0.0
     max_latency: float = 0.0
     throughput: float = 0.0
     wall_time: float = 0.0
+    history_window: int = 0
     cache: dict = field(default_factory=dict)
     sessions_open: int = 0
     sessions_opened: int = 0
@@ -204,7 +221,10 @@ class ServiceStats:
             f"coalesced={self.coalesced} cache_hits={self.cache_hits} "
             f"solves={self.solver_invocations} batches={self.batches} | "
             f"latency mean={self.mean_latency * 1e3:.1f}ms "
-            f"p95={self.p95_latency * 1e3:.1f}ms"
+            f"p50={self.p50_latency * 1e3:.1f}ms "
+            f"p95={self.p95_latency * 1e3:.1f}ms "
+            f"p99={self.p99_latency * 1e3:.1f}ms (full run; "
+            f"record window={self.history_window})"
         )
 
 
@@ -220,12 +240,19 @@ class QueryServer:
         engine: A shared :class:`SolveEngine`; when ``None`` the server owns
             one built from ``options`` (and closes it on :meth:`stop`).
         options: Front-end tuning knobs.
+        obs: Optional :class:`~repro.obs.Observability` bundle shared with
+            the engine (tracing + metrics + workload profiling).  When
+            omitted, the server adopts the engine's bundle if it has one,
+            or builds a metrics-only bundle so :meth:`export_metrics_json`
+            / :meth:`export_metrics_prometheus` always work; tracing and
+            profiling stay off unless explicitly enabled.
     """
 
     def __init__(
         self,
         engine: SolveEngine | None = None,
         options: QueryServerOptions | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.options = options or QueryServerOptions()
         self._allowed_methods: frozenset[str] | None = None
@@ -244,8 +271,26 @@ class QueryServer:
             cache_capacity=self.options.cache_capacity,
             cache_dir=self.options.cache_dir,
         )
+        if obs is not None:
+            self.obs = obs
+        elif self.engine.obs is not None:
+            # A pre-instrumented engine brings its bundle along, so server
+            # spans land in the same tracer and exports cover both layers.
+            self.obs = self.engine.obs
+        else:
+            self.obs = Observability(metrics=MetricsRegistry())
+        self.engine.attach_obs(self.obs)
+        if self.obs.metrics is not None:
+            self.obs.metrics.register_collector(self._collect_metrics)
+            self._latency_hist = self.obs.metrics.histogram(
+                "repro_service_request_latency_seconds",
+                "End-to-end request latency (seconds, full run)",
+            )
+        else:
+            self._latency_hist = Histogram()
         self._queue: asyncio.Queue | None = None
         self._inflight: dict[str, asyncio.Future] = {}
+        self._inflight_ctx: dict[str, object] = {}
         self._sessions: OrderedDict[str, ServerSession] = OrderedDict()
         self._session_counter = 0
         self._sessions_opened = 0
@@ -264,6 +309,59 @@ class QueryServer:
         self._started_at: float | None = None
         self._finished_at: float | None = None
         self._request_counter = 0
+
+    # -- observability plumbing -----------------------------------------------
+
+    def _tracer(self):
+        obs = self.obs
+        if obs.tracer is not None and obs.tracer.enabled:
+            return obs.tracer
+        return None
+
+    def _request_span(self, name: str, **attributes):
+        """A request-root span, or the shared no-op span when tracing is off."""
+        tracer = self._tracer()
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(name, **attributes)
+
+    def _collect_metrics(self) -> dict:
+        """Service counters for the shared registry (sampled at export)."""
+        return {
+            "repro_service_requests_total": (
+                "counter", "Requests served", self._total_requests,
+            ),
+            "repro_service_coalesced_total": (
+                "counter",
+                "Requests coalesced onto an in-flight identical solve",
+                self._total_coalesced,
+            ),
+            "repro_service_cache_hits_total": (
+                "counter", "Requests served from the result cache",
+                self._total_cache_hits,
+            ),
+            "repro_service_batches_total": (
+                "counter", "Engine micro-batches dispatched", self._batches,
+            ),
+            "repro_service_sessions_open": (
+                "gauge", "Stateful edit sessions currently open",
+                len(self._sessions),
+            ),
+            "repro_service_sessions_opened_total": (
+                "counter", "Sessions opened", self._sessions_opened,
+            ),
+            "repro_service_sessions_evicted_total": (
+                "counter", "Sessions LRU-evicted", self._sessions_evicted,
+            ),
+        }
+
+    def export_metrics_prometheus(self) -> str:
+        """Every layer's metrics in Prometheus text exposition format."""
+        return self.obs.render_prometheus()
+
+    def export_metrics_json(self, indent: int | None = None) -> str:
+        """Every layer's metrics as structured JSON (same registry snapshot)."""
+        return self.obs.render_json(indent=indent)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -321,7 +419,11 @@ class QueryServer:
         """Submit one how-to-rank query and await its response.
 
         Identical queries already in flight are coalesced: this call attaches
-        to the pending solve instead of enqueueing a duplicate.
+        to the pending solve instead of enqueueing a duplicate.  With tracing
+        on, each request roots a ``service.request`` span; the engine's
+        dispatch/task/solver spans nest under the *primary* request's trace
+        (exactly once per solve), and a coalesced waiter's span points at it
+        via its ``primary_trace`` attribute.
         """
         if self._loop_task is None or self._closing:
             raise RuntimeError("QueryServer is not running; call start() first")
@@ -337,17 +439,38 @@ class QueryServer:
         if self._started_at is None:
             self._started_at = arrived
 
-        future = self._inflight.get(key)
-        coalesced = future is not None
-        if future is None:
-            future = asyncio.get_running_loop().create_future()
-            self._inflight[key] = future
-            self._queue.put_nowait((key, request))
+        with self._request_span(
+            "service.request",
+            request_id=request_id,
+            method=method,
+            fingerprint=key,
+        ) as span:
+            future = self._inflight.get(key)
+            coalesced = future is not None
+            if future is None:
+                future = asyncio.get_running_loop().create_future()
+                self._inflight[key] = future
+                ctx = span.context
+                self._inflight_ctx[key] = ctx
+                self._queue.put_nowait((key, request, ctx))
+            elif span:
+                primary = self._inflight_ctx.get(key)
+                span.set_attributes(
+                    coalesced=True,
+                    primary_trace=primary.trace_id if primary is not None else "",
+                )
 
-        outcome, batch_size = await future
-        return self._finalize_response(
-            request_id, key, method, outcome, arrived, coalesced, batch_size
-        )
+            outcome, batch_size = await future
+            response = self._finalize_response(
+                request_id, key, method, outcome, arrived, coalesced, batch_size
+            )
+            if span:
+                span.set_attributes(
+                    cache_hit=response.cache_hit,
+                    batch_size=batch_size,
+                    latency=response.latency,
+                )
+            return response
 
     def _finalize_response(
         self,
@@ -358,6 +481,7 @@ class QueryServer:
         arrived: float,
         coalesced: bool,
         batch_size: int,
+        delta_kinds=(),
     ) -> QueryResponse:
         """Shared telemetry + response assembly for query and session paths."""
         if coalesced:
@@ -378,6 +502,7 @@ class QueryServer:
         self._total_coalesced += int(coalesced)
         self._total_cache_hits += int(outcome.cache_hit)
         self._latency_sum += latency
+        self._latency_hist.observe(latency)
         self._records.append(
             RequestRecord(
                 request_id=request_id,
@@ -390,6 +515,21 @@ class QueryServer:
                 batch_size=batch_size,
             )
         )
+        if self.obs.profile is not None:
+            reused = outcome.cache_hit or coalesced
+            self.obs.profile.record(
+                request_id=request_id,
+                fingerprint=key,
+                method=method,
+                latency=latency,
+                # Recompute cost: the engine-side wall time behind a real
+                # solve; reuse (hit/coalesce) costs (near) nothing.
+                cost=0.0 if reused else outcome.wall_time,
+                cache_hit=outcome.cache_hit,
+                coalesced=coalesced,
+                delta_kinds=delta_kinds,
+                served=outcome.served,
+            )
         return response
 
     # -- stateful sessions ----------------------------------------------------
@@ -518,45 +658,92 @@ class QueryServer:
         if self._started_at is None:
             self._started_at = arrived
 
-        future = self._inflight.get(key)
-        coalesced = future is not None
-        if future is None:
-            loop = asyncio.get_running_loop()
-            future = loop.create_future()
-            self._inflight[key] = future
-            task = loop.create_task(
-                self._run_session_solve(key, request, parent, session.aggressive)
-            )
-            self._session_tasks.add(task)
-            task.add_done_callback(self._session_tasks.discard)
+        delta_kinds = tuple(delta.kind for delta in parsed)
+        with self._request_span(
+            "service.request",
+            request_id=request_id,
+            method=solve_method,
+            fingerprint=key,
+            session_id=session_id,
+            edits=len(parsed),
+        ) as span:
+            future = self._inflight.get(key)
+            coalesced = future is not None
+            if future is None:
+                loop = asyncio.get_running_loop()
+                future = loop.create_future()
+                self._inflight[key] = future
+                ctx = span.context
+                self._inflight_ctx[key] = ctx
+                task = loop.create_task(
+                    self._run_session_solve(
+                        key, request, parent, session.aggressive, ctx
+                    )
+                )
+                self._session_tasks.add(task)
+                task.add_done_callback(self._session_tasks.discard)
+            elif span:
+                primary = self._inflight_ctx.get(key)
+                span.set_attributes(
+                    coalesced=True,
+                    primary_trace=primary.trace_id if primary is not None else "",
+                )
 
-        outcome, batch_size = await future
-        if outcome.served is None:
-            # The session attached to a query-path (batch) future for the
-            # same fingerprint; those outcomes never set `served`, but every
-            # session response promises it.
-            outcome = replace(outcome, served="coalesced")
-        return self._finalize_response(
-            request_id, key, solve_method, outcome, arrived, coalesced, batch_size
-        )
+            outcome, batch_size = await future
+            if outcome.served is None:
+                # The session attached to a query-path (batch) future for the
+                # same fingerprint; those outcomes never set `served`, but every
+                # session response promises it.
+                outcome = replace(outcome, served="coalesced")
+            response = self._finalize_response(
+                request_id,
+                key,
+                solve_method,
+                outcome,
+                arrived,
+                coalesced,
+                batch_size,
+                delta_kinds=delta_kinds,
+            )
+            if span:
+                span.set_attributes(
+                    cache_hit=response.cache_hit,
+                    served=outcome.served,
+                    latency=response.latency,
+                )
+            return response
 
     async def _run_session_solve(
-        self, key: str, request: SolveRequest, parent: str | None, aggressive: bool
+        self,
+        key: str,
+        request: SolveRequest,
+        parent: str | None,
+        aggressive: bool,
+        ctx=None,
     ) -> None:
         loop = asyncio.get_running_loop()
+        tracer = self._tracer()
         try:
+            # The executor thread does not inherit the request's contextvars;
+            # run_in_context re-parents the engine/solver spans under the
+            # submitting request span (a no-op when tracing is off).
             outcome = await loop.run_in_executor(
                 None,
-                lambda: self.engine.solve_incremental(
-                    request, parent, aggressive=aggressive
+                lambda: run_in_context(tracer, ctx)(
+                    self.engine.solve_incremental,
+                    request,
+                    parent,
+                    aggressive=aggressive,
                 ),
             )
         except Exception as error:  # pragma: no cover - defensive
             future = self._inflight.pop(key, None)
+            self._inflight_ctx.pop(key, None)
             if future is not None and not future.done():
                 future.set_exception(error)
             return
         future = self._inflight.pop(key, None)
+        self._inflight_ctx.pop(key, None)
         if future is not None and not future.done():
             future.set_result((outcome, 1))
 
@@ -663,22 +850,25 @@ class QueryServer:
             await self._run_batch(batch)
 
     async def _run_batch(self, batch: list) -> None:
-        keys = [key for key, _ in batch]
-        requests = [request for _, request in batch]
+        keys = [key for key, _, _ in batch]
+        requests = [request for _, request, _ in batch]
+        contexts = [ctx for _, _, ctx in batch]
         self._batches += 1
         loop = asyncio.get_running_loop()
         try:
             outcomes = await loop.run_in_executor(
-                None, self.engine.solve_batch, requests
+                None, lambda: self.engine.solve_batch(requests, contexts)
             )
         except Exception as error:  # pragma: no cover - defensive
             for key in keys:
                 future = self._inflight.pop(key, None)
+                self._inflight_ctx.pop(key, None)
                 if future is not None and not future.done():
                     future.set_exception(error)
             return
         for key, outcome in zip(keys, outcomes):
             future = self._inflight.pop(key, None)
+            self._inflight_ctx.pop(key, None)
             if future is not None and not future.done():
                 future.set_result((outcome, len(batch)))
 
@@ -692,19 +882,22 @@ class QueryServer:
     def stats(self) -> ServiceStats:
         """Aggregate latency / hit-rate / throughput.
 
-        Counters (requests, coalesced, cache hits, batches) cover the whole
-        lifetime of the server; the latency percentiles cover the retained
-        record window (:attr:`QueryServerOptions.history_limit`).
+        Counters *and* latency percentiles cover the whole lifetime of the
+        server: the percentiles come from a bounded streaming histogram
+        (exact to one log-spaced bucket), not from the windowed per-request
+        records.  ``history_window`` reports how many recent records
+        :attr:`records` retains for drill-down.
         """
         if not self._total_requests:
             return ServiceStats(
+                history_window=len(self._records),
                 cache=self.engine.cache.stats.as_dict(),
                 sessions_open=len(self._sessions),
                 sessions_opened=self._sessions_opened,
                 sessions_evicted=self._sessions_evicted,
                 incremental=self.engine.incremental_stats.as_dict(),
             )
-        latencies = np.asarray([r.latency for r in self._records], dtype=float)
+        hist = self._latency_hist
         wall = (
             (self._finished_at or 0.0) - (self._started_at or 0.0)
             if self._started_at is not None
@@ -717,10 +910,13 @@ class QueryServer:
             batches=self._batches,
             solver_invocations=self.engine.solver_invocations,
             mean_latency=self._latency_sum / self._total_requests,
-            p95_latency=float(np.percentile(latencies, 95)),
-            max_latency=float(latencies.max()),
+            p50_latency=hist.quantile(0.50),
+            p95_latency=hist.quantile(0.95),
+            p99_latency=hist.quantile(0.99),
+            max_latency=hist.max,
             throughput=self._total_requests / wall if wall > 0 else 0.0,
             wall_time=wall,
+            history_window=len(self._records),
             cache=self.engine.cache.stats.as_dict(),
             sessions_open=len(self._sessions),
             sessions_opened=self._sessions_opened,

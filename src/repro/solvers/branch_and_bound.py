@@ -37,6 +37,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.trace import span as obs_span
 from repro.solvers.lp import LPStatus, PreparedStandardForm
 from repro.solvers.milp import MILPModel, MILPSolution, MILPStatus
 from repro.solvers.presolve import BoundTightener
@@ -115,7 +116,31 @@ class BranchAndBoundSolver:
         self.options = options or SolverOptions()
 
     def solve(self, model: MILPModel) -> MILPSolution:
-        """Run branch-and-bound and return the best solution found."""
+        """Run branch-and-bound and return the best solution found.
+
+        Instrumented unconditionally: with tracing off the span call is a
+        no-op contextvar read; with tracing on the search's node count, LP
+        pivots, warm-start outcomes, and final bound/gap land as span
+        attributes on ``solver.branch_and_bound``.
+        """
+        with obs_span(
+            "solver.branch_and_bound",
+            search=self.options.search,
+            warm_start_requested=self.options.initial_basis is not None,
+        ) as sp:
+            solution = self._solve(model)
+            if sp:
+                sp.set_attributes(
+                    status=solution.status.name,
+                    nodes=solution.nodes,
+                    lp_iterations=solution.lp_iterations,
+                    warm_started_nodes=solution.warm_started_nodes,
+                    best_bound=float(solution.best_bound),
+                    gap=float(solution.gap),
+                )
+            return solution
+
+    def _solve(self, model: MILPModel) -> MILPSolution:
         options = self.options
         start = time.monotonic()
         relaxation = model.build_relaxation()

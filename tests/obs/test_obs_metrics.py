@@ -1,0 +1,179 @@
+"""Metrics registry: instruments, streaming histograms, exporters."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import parse_prometheus, render_json, render_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+
+
+# -- instruments ---------------------------------------------------------------
+
+
+def test_counter_is_monotonic():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(4)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 3.0
+
+
+def test_default_buckets_are_log_spaced():
+    bounds = default_latency_buckets(1e-3, 1e0, buckets_per_decade=4)
+    assert len(bounds) == 13
+    assert bounds[0] == pytest.approx(1e-3)
+    assert bounds[-1] == pytest.approx(1.0)
+    ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+    assert all(r == pytest.approx(10 ** 0.25) for r in ratios)
+    with pytest.raises(ValueError):
+        default_latency_buckets(1.0, 0.5)
+
+
+def test_histogram_exact_aggregates_and_bounded_quantiles():
+    hist = Histogram()
+    values = [0.001, 0.002, 0.1, 0.004]
+    for value in values:
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(sum(values))
+    assert hist.min == pytest.approx(0.001)
+    assert hist.max == pytest.approx(0.1)
+    assert hist.mean == pytest.approx(sum(values) / 4)
+    # Quantiles are exact to one log-spaced bucket and clamped to min/max.
+    relative = 10 ** (1 / 8) - 1
+    assert hist.quantile(0.95) == pytest.approx(0.1)
+    assert hist.quantile(0.5) <= 0.004 * (1 + relative)
+    assert hist.quantile(0.0) == pytest.approx(0.001)
+    assert hist.quantile(1.0) == pytest.approx(0.1)
+
+    snapshot = hist.snapshot()
+    assert snapshot["count"] == 4
+    assert sum(snapshot["buckets"]["counts"]) == 4
+    assert snapshot["p99"] <= 0.1
+
+    pairs = hist.bucket_pairs()
+    assert pairs[-1][0] == math.inf
+    assert pairs[-1][1] == 4
+
+
+def test_histogram_memory_is_constant():
+    hist = Histogram()
+    baseline = len(hist.snapshot()["buckets"]["counts"])
+    for index in range(10_000):
+        hist.observe((index % 100 + 1) * 1e-4)
+    assert len(hist.snapshot()["buckets"]["counts"]) == baseline
+    assert hist.count == 10_000
+
+
+def test_empty_histogram_quantile_is_zero():
+    hist = Histogram()
+    assert hist.quantile(0.95) == 0.0
+    assert hist.min == 0.0 and hist.max == 0.0
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_families_and_labels():
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "Requests")
+    requests.inc(3)
+    served = registry.counter("served_total", "By tier", labels=("tier",))
+    served.child(tier="exact").inc()
+    served.child(tier="cold").inc(2)
+    with pytest.raises(ValueError):
+        served.child(wrong="label")
+    with pytest.raises(ValueError):
+        registry.gauge("requests_total")  # re-declared with another kind
+
+    snapshot = registry.collect()
+    assert snapshot["requests_total"]["value"] == 3
+    series = {
+        tuple(s["labels"].items()): s["value"]
+        for s in snapshot["served_total"]["series"]
+    }
+    assert series == {(("tier", "exact"),): 1, (("tier", "cold"),): 2}
+
+
+def test_registry_collectors_merge_without_double_bookkeeping():
+    registry = MetricsRegistry()
+    registry.counter("native_total").inc()
+    external = {"hits": 5}
+    registry.register_collector(
+        lambda: {
+            "external_hits_total": ("counter", "Pulled", external["hits"]),
+            "tiered_total": (
+                "counter", "By tier", {("warm",): 2.0}, ("tier",),
+            ),
+        }
+    )
+    snapshot = registry.collect()
+    assert snapshot["external_hits_total"]["value"] == 5
+    external["hits"] = 9  # collectors sample at collect() time
+    assert registry.collect()["external_hits_total"]["value"] == 9
+    assert snapshot["tiered_total"]["series"][0]["labels"] == {"tier": "warm"}
+
+
+# -- exporters -----------------------------------------------------------------
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Requests").inc(7)
+    latency = registry.histogram(
+        "repro_latency_seconds", "Latency", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.05, 0.5, 2.0):
+        latency.observe(value)
+    tiers = registry.counter("repro_served_total", "Tiers", labels=("tier",))
+    tiers.child(tier="exact").inc()
+    return registry
+
+
+def test_prometheus_round_trip():
+    registry = _populated_registry()
+    text = render_prometheus(registry)
+    samples = parse_prometheus(text)
+
+    assert samples[("repro_requests_total", ())] == 7
+    assert samples[("repro_served_total", (("tier", "exact"),))] == 1
+    # Histogram exposition: cumulative buckets, +Inf, sum, count.
+    assert samples[("repro_latency_seconds_bucket", (("le", "0.01"),))] == 1
+    assert samples[("repro_latency_seconds_bucket", (("le", "1"),))] == 3
+    assert samples[("repro_latency_seconds_bucket", (("le", "+Inf"),))] == 4
+    assert samples[("repro_latency_seconds_count", ())] == 4
+    assert samples[("repro_latency_seconds_sum", ())] == pytest.approx(2.555)
+    assert "# TYPE repro_latency_seconds histogram" in text
+
+
+def test_prometheus_parser_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_prometheus("what even is this line")
+    with pytest.raises(ValueError):
+        parse_prometheus('name{label=unquoted} 1')
+
+
+def test_json_export_matches_collect():
+    registry = _populated_registry()
+    payload = json.loads(render_json(registry))
+    assert payload["repro_requests_total"]["value"] == 7
+    assert payload["repro_latency_seconds"]["value"]["count"] == 4
