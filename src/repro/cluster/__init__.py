@@ -1,0 +1,34 @@
+"""Sharded multi-worker serving: router, shard transports, metric merging.
+
+The cluster layer scales :class:`repro.service.QueryServer` horizontally:
+a :class:`ClusterRouter` shards queries by problem fingerprint across N
+workers (in-process or separate worker processes), pins edit sessions to
+their owning shard, sheds load once a shard's admission queue is full
+(:class:`ShardBusyError`), shares the content-addressed disk cache tier
+across shards, and aggregates per-shard health/stats/Prometheus exports
+into one cluster-wide surface.  Drive it under load with
+:mod:`repro.loadgen`.
+"""
+
+from repro.cluster.metrics import aggregate_prometheus, aggregate_samples
+from repro.cluster.router import (
+    ClusterOptions,
+    ClusterResponse,
+    ClusterRouter,
+    ClusterStats,
+    ShardBusyError,
+)
+from repro.cluster.shard import InprocShard, ProcessShard, ShardError
+
+__all__ = [
+    "ClusterOptions",
+    "ClusterResponse",
+    "ClusterRouter",
+    "ClusterStats",
+    "ShardBusyError",
+    "InprocShard",
+    "ProcessShard",
+    "ShardError",
+    "aggregate_prometheus",
+    "aggregate_samples",
+]

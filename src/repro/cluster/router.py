@@ -1,0 +1,656 @@
+"""Fingerprint-sharded cluster front-end with admission control.
+
+:class:`ClusterRouter` is the serving topology's front door: it owns ``N``
+shards (each a full engine + :class:`~repro.service.QueryServer` core,
+in-process or a separate worker process), routes every stateless query by
+its **request fingerprint** -- so identical queries always land on the same
+shard and keep coalescing/caching there -- and pins stateful edit sessions
+to the shard that opened them (the session's server-side state lives
+nowhere else).
+
+The router adds the cluster-level behaviors a single server cannot provide:
+
+* **Admission control / backpressure** -- at most ``queue_limit`` queries
+  may be pending per shard; the next one is *shed* with
+  :class:`ShardBusyError` carrying a ``retry_after`` hint, instead of
+  growing an unbounded queue.  Sheds are counted per shard and surfaced in
+  :meth:`stats` (``totals.shed``) and Prometheus
+  (``repro_cluster_shed_total``).  Pinned-session traffic bypasses
+  admission: shedding mid-chain would strand server-side session state,
+  and the bound exists to protect shards from anonymous query floods.
+* **Shared cache tier** -- all shards point at the same content-addressed
+  disk cache directory (when configured), so a result computed on one shard
+  is a disk hit on any other; the router's **hot-key gossip** additionally
+  prefetches a fingerprint into the non-owning shards' memory LRU once it
+  has been routed ``gossip_threshold`` times (pinned sessions are the one
+  path that sends a fingerprint to a shard that does not own it).
+* **Graceful drain** -- :meth:`drain` waits until every admitted request on
+  every shard has been answered and profile sinks are flushed;
+  :meth:`stop` drains, then tears the shards down.
+* **One metrics surface** -- :meth:`export_metrics_prometheus` sums the
+  per-shard expositions (:func:`repro.cluster.metrics.aggregate_prometheus`)
+  and appends the router's own ``repro_cluster_*`` series; the result
+  parses like a single server's export.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core.problem import RankingProblem
+from repro.engine.engine import SolveRequest
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.service.server import QueryServerOptions, ServiceStats
+
+from repro.cluster.metrics import aggregate_prometheus
+from repro.cluster.shard import InprocShard, ProcessShard
+
+__all__ = [
+    "ClusterOptions",
+    "ClusterResponse",
+    "ClusterStats",
+    "ClusterRouter",
+    "ShardBusyError",
+]
+
+_ROUTE_HEX_DIGITS = 16  # leading fingerprint digits used for shard routing
+
+
+class ShardBusyError(RuntimeError):
+    """A shard's admission queue is full; retry after ``retry_after`` seconds.
+
+    This is the cluster's backpressure signal: the request was *not*
+    admitted (nothing was enqueued), so retrying the identical call after
+    the hint is always safe.
+    """
+
+    def __init__(self, shard: int, retry_after: float) -> None:
+        super().__init__(
+            f"shard {shard} is at its admission limit; "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class ClusterOptions:
+    """Topology and admission knobs of the cluster front-end.
+
+    Attributes:
+        num_shards: Worker count; each shard is a full engine + server core.
+        transport: ``"inproc"`` (shards share the router's event loop; zero
+            serialization, the right default for tests and 1-CPU boxes) or
+            ``"process"`` (each shard is a spawned worker process talking
+            wire dicts over pipes).
+        queue_limit: Max queries pending per shard before the router sheds
+            (admission control); pinned-session traffic is exempt.
+        retry_after: Seconds a shed caller is told to back off
+            (:attr:`ShardBusyError.retry_after`).
+        gossip_threshold: Route count after which a hot fingerprint is
+            prefetched into every non-owning shard's memory cache
+            (``0`` disables gossip).  Effective cross-shard only with a
+            shared ``cache_dir``.
+        cache_dir: Shared content-addressed disk cache directory handed to
+            every shard (cross-shard hit tier).  ``None`` keeps caches
+            shard-private.
+        server: Per-shard :class:`QueryServerOptions`; ``cache_dir`` above
+            overrides the copy each shard receives.
+        mp_method: ``multiprocessing`` start method for process shards.
+    """
+
+    num_shards: int = 2
+    transport: str = "inproc"
+    queue_limit: int = 32
+    retry_after: float = 0.05
+    gossip_threshold: int = 3
+    cache_dir: str | None = None
+    server: QueryServerOptions = field(default_factory=QueryServerOptions)
+    mp_method: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.transport not in ("inproc", "process"):
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                "use 'inproc' or 'process'"
+            )
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+
+
+@dataclass
+class ClusterResponse:
+    """What a caller gets back from the router (plus which shard served it)."""
+
+    request_id: str
+    shard: int
+    result: object
+    fingerprint: str
+    cache_hit: bool
+    coalesced: bool
+    latency: float
+    batch_size: int
+    served: str | None = None
+    session_id: str | None = None
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-wide aggregate plus the per-shard drill-down.
+
+    ``totals`` reuses :class:`~repro.service.ServiceStats`: counters are
+    sums over shards, ``shed`` is the router's admission-reject count, and
+    the latency distribution is the *router-side* end-to-end view (it
+    includes transport cost for process shards).
+    """
+
+    shards: int
+    totals: ServiceStats
+    per_shard: list
+    routed: list
+    shed: list
+    queue_depth: list
+    peak_queue_depth: list
+    sessions_pinned: int
+    gossip_prefetches: int
+
+    def describe(self) -> str:
+        balance = "/".join(str(n) for n in self.routed)
+        return (
+            f"cluster[{self.shards}] {self.totals.describe()} | "
+            f"balance={balance} pinned_sessions={self.sessions_pinned} "
+            f"gossip={self.gossip_prefetches}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "totals": asdict(self.totals),
+            "per_shard": [asdict(stats) for stats in self.per_shard],
+            "routed": list(self.routed),
+            "shed": list(self.shed),
+            "queue_depth": list(self.queue_depth),
+            "peak_queue_depth": list(self.peak_queue_depth),
+            "sessions_pinned": self.sessions_pinned,
+            "gossip_prefetches": self.gossip_prefetches,
+        }
+
+
+def _sum_numeric(dicts: list) -> dict:
+    """Key-wise sum of numeric entries across per-shard stat dicts."""
+    merged: dict = {}
+    for entry in dicts:
+        for key, value in entry.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+class ClusterRouter:
+    """Shard-by-fingerprint front-end over N serving workers.
+
+    Use as an async context manager::
+
+        options = ClusterOptions(num_shards=2, cache_dir="/tmp/tier")
+        async with ClusterRouter(options) as cluster:
+            response = await cluster.submit(problem, method="symgd")
+    """
+
+    def __init__(self, options: ClusterOptions | None = None) -> None:
+        self.options = options or ClusterOptions()
+        server_options = self.options.server
+        if self.options.cache_dir is not None:
+            from dataclasses import replace
+
+            server_options = replace(
+                server_options, cache_dir=self.options.cache_dir
+            )
+        self._server_options = server_options
+        self.shards: list = []
+        self._started = False
+        self._closing = False
+        self._pending = [0] * self.options.num_shards
+        self._peak_pending = [0] * self.options.num_shards
+        self._routed = [0] * self.options.num_shards
+        self._shed = [0] * self.options.num_shards
+        self._session_shard: dict[str, int] = {}
+        self._session_counter = 0
+        self._hot_counts: dict[str, int] = {}
+        self._gossip_tasks: set[asyncio.Task] = set()
+        self._gossip_prefetches = 0
+        self._request_counter = 0
+        self._started_at: float | None = None
+        self._finished_at: float | None = None
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(self._collect_metrics)
+        self._latency_hist = self.metrics.histogram(
+            "repro_cluster_request_latency_seconds",
+            "Router-side end-to-end request latency (seconds, full run)",
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "ClusterRouter":
+        """Build and start every shard (idempotent)."""
+        if self._started:
+            return self
+        for index in range(self.options.num_shards):
+            if self.options.transport == "process":
+                shard = ProcessShard(
+                    index, self._server_options, mp_method=self.options.mp_method
+                )
+            else:
+                shard = InprocShard(index, self._server_options)
+            self.shards.append(shard)
+        try:
+            await asyncio.gather(*(shard.start() for shard in self.shards))
+        except BaseException:
+            await asyncio.gather(
+                *(shard.stop() for shard in self.shards),
+                return_exceptions=True,
+            )
+            self.shards.clear()
+            raise
+        self._started = True
+        self._closing = False
+        return self
+
+    async def drain(self) -> None:
+        """Wait until every admitted request on every shard is answered."""
+        if self._gossip_tasks:
+            await asyncio.gather(*self._gossip_tasks, return_exceptions=True)
+        await asyncio.gather(*(shard.drain() for shard in self.shards))
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain everything, then tear the shards down."""
+        if not self._started or self._closing:
+            return
+        self._closing = True
+        if self._gossip_tasks:
+            await asyncio.gather(*self._gossip_tasks, return_exceptions=True)
+        await asyncio.gather(
+            *(shard.stop() for shard in self.shards), return_exceptions=True
+        )
+        self.shards.clear()
+        self._started = False
+
+    async def __aenter__(self) -> "ClusterRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def _require_running(self) -> None:
+        if not self._started or self._closing:
+            raise RuntimeError("ClusterRouter is not running; call start() first")
+
+    # -- routing --------------------------------------------------------------
+
+    def shard_for(self, fingerprint: str) -> int:
+        """Deterministic, stable shard index for a fingerprint.
+
+        The leading hex digits of the content-addressed fingerprint modulo
+        the shard count: no state, no RNG -- the same request routes to the
+        same shard in every process, forever (for a fixed ``num_shards``).
+        """
+        return int(fingerprint[:_ROUTE_HEX_DIGITS], 16) % self.options.num_shards
+
+    def _admit(self, shard: int) -> None:
+        if self._pending[shard] >= self.options.queue_limit:
+            self._shed[shard] += 1
+            raise ShardBusyError(shard, self.options.retry_after)
+        self._note_pending(shard)
+
+    def _note_pending(self, shard: int) -> None:
+        self._pending[shard] += 1
+        if self._pending[shard] > self._peak_pending[shard]:
+            self._peak_pending[shard] = self._pending[shard]
+
+    def _release(self, shard: int) -> None:
+        self._pending[shard] -= 1
+
+    def _note_routed(self, shard: int, fingerprint: str) -> None:
+        self._routed[shard] += 1
+        self._maybe_gossip(shard, fingerprint)
+
+    def _maybe_gossip(self, owner: int, fingerprint: str) -> None:
+        threshold = self.options.gossip_threshold
+        if threshold < 1 or self.options.num_shards < 2:
+            return
+        count = self._hot_counts.get(fingerprint, 0) + 1
+        self._hot_counts[fingerprint] = count
+        if count != threshold:
+            return  # fire exactly once per fingerprint, when it turns hot
+        for index, shard in enumerate(self.shards):
+            if index == owner:
+                continue
+            task = asyncio.get_running_loop().create_task(
+                self._gossip_prefetch(shard, fingerprint)
+            )
+            self._gossip_tasks.add(task)
+            task.add_done_callback(self._gossip_tasks.discard)
+
+    async def _gossip_prefetch(self, shard, fingerprint: str) -> None:
+        try:
+            if await shard.prefetch(fingerprint):
+                self._gossip_prefetches += 1
+        except Exception:  # gossip is best-effort; never fail a request path
+            pass
+
+    def _stamp_request(self) -> float:
+        now = time.perf_counter()
+        if self._started_at is None:
+            self._started_at = now
+        return now
+
+    def _observe(self, arrived: float) -> float:
+        finished = time.perf_counter()
+        self._finished_at = finished
+        latency = finished - arrived
+        self._latency_hist.observe(latency)
+        return latency
+
+    # -- stateless queries ----------------------------------------------------
+
+    async def submit(
+        self,
+        problem: RankingProblem,
+        method: str = "symgd",
+        params: dict | None = None,
+        request_id: str | None = None,
+    ) -> ClusterResponse:
+        """Route one query to its owning shard and await the response.
+
+        Raises :class:`ShardBusyError` (without enqueueing anything) when
+        the owning shard is at its admission limit.
+        """
+        self._require_running()
+        # Build the request up front: validates method/options and yields
+        # the content-addressed fingerprint that picks the shard.
+        fingerprint = SolveRequest(problem, method, dict(params or {})).fingerprint
+        shard_index = self.shard_for(fingerprint)
+        self._admit(shard_index)
+        self._request_counter += 1
+        if request_id is None:
+            request_id = f"c{self._request_counter}"
+        arrived = self._stamp_request()
+        try:
+            payload = await self.shards[shard_index].submit(
+                problem, method, params, request_id=request_id
+            )
+        finally:
+            self._release(shard_index)
+        latency = self._observe(arrived)
+        self._note_routed(shard_index, fingerprint)
+        return ClusterResponse(
+            request_id=request_id,
+            shard=shard_index,
+            result=payload["result"],
+            fingerprint=payload["fingerprint"],
+            cache_hit=payload["cache_hit"],
+            coalesced=payload["coalesced"],
+            latency=latency,
+            batch_size=payload["batch_size"],
+            served=payload["served"],
+        )
+
+    # -- pinned sessions ------------------------------------------------------
+
+    def session_shard(self, session_id: str) -> int:
+        """The shard a session is pinned to (raises for unknown ids)."""
+        try:
+            return self._session_shard[session_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown cluster session {session_id!r}; open_session() "
+                "or resume_session() first"
+            ) from None
+
+    def _pin_session(self, shard_index: int) -> str:
+        self._session_counter += 1
+        session_id = f"s{shard_index}-{self._session_counter}"
+        self._session_shard[session_id] = shard_index
+        return session_id
+
+    async def open_session(
+        self,
+        problem: RankingProblem,
+        method: str = "symgd",
+        params: dict | None = None,
+        aggressive: bool = False,
+    ) -> str:
+        """Open an edit session, pinned to the base problem's owning shard.
+
+        Returns a router-assigned id of the form ``s<shard>-<n>`` -- the
+        pin is readable right off the id.
+        """
+        self._require_running()
+        fingerprint = SolveRequest(problem, method, dict(params or {})).fingerprint
+        shard_index = self.shard_for(fingerprint)
+        session_id = self._pin_session(shard_index)
+        try:
+            await self.shards[shard_index].open_session(
+                problem, method, params, session_id=session_id,
+                aggressive=aggressive,
+            )
+        except BaseException:
+            self._session_shard.pop(session_id, None)
+            raise
+        return session_id
+
+    async def submit_session(
+        self,
+        session_id: str,
+        deltas=None,
+        method: str | None = None,
+        params: dict | None = None,
+        request_id: str | None = None,
+    ) -> ClusterResponse:
+        """Apply edits to a pinned session and solve its head on its shard.
+
+        Session traffic is never shed and never re-routed: the session's
+        state lives on exactly one shard, so continuity wins over admission
+        (the bound protects shards from stateless floods, which is also why
+        this path still counts toward the shard's pending depth -- admission
+        sees session load, it just cannot reject it).
+        """
+        self._require_running()
+        shard_index = self.session_shard(session_id)
+        self._request_counter += 1
+        if request_id is None:
+            request_id = f"c{self._request_counter}"
+        self._note_pending(shard_index)  # visible to admission, not bounded
+        arrived = self._stamp_request()
+        try:
+            payload = await self.shards[shard_index].submit_session(
+                session_id, deltas=deltas, method=method, params=params,
+                request_id=request_id,
+            )
+        finally:
+            self._release(shard_index)
+        latency = self._observe(arrived)
+        self._note_routed(shard_index, payload["fingerprint"])
+        return ClusterResponse(
+            request_id=request_id,
+            shard=shard_index,
+            result=payload["result"],
+            fingerprint=payload["fingerprint"],
+            cache_hit=payload["cache_hit"],
+            coalesced=payload["coalesced"],
+            latency=latency,
+            batch_size=payload["batch_size"],
+            served=payload["served"],
+            session_id=session_id,
+        )
+
+    async def export_session(self, session_id: str) -> dict:
+        self._require_running()
+        return await self.shards[self.session_shard(session_id)].export_session(
+            session_id
+        )
+
+    async def resume_session(self, data: dict) -> str:
+        """Resume an exported session, re-pinning by its *base* fingerprint.
+
+        The pin recomputes from the session's base problem and method, so a
+        session resumed on a restarted cluster lands on the shard that
+        served (and cached) its history.
+        """
+        self._require_running()
+        base = RankingProblem.from_dict(data["base"])
+        method = data.get("method", "symgd")
+        fingerprint = SolveRequest(
+            base, method, dict(data.get("params") or {})
+        ).fingerprint
+        shard_index = self.shard_for(fingerprint)
+        session_id = self._pin_session(shard_index)
+        payload = dict(data, session_id=session_id)
+        try:
+            await self.shards[shard_index].resume_session(
+                payload, session_id=session_id
+            )
+        except BaseException:
+            self._session_shard.pop(session_id, None)
+            raise
+        return session_id
+
+    async def close_session(self, session_id: str) -> None:
+        self._require_running()
+        shard_index = self.session_shard(session_id)
+        await self.shards[shard_index].close_session(session_id)
+        self._session_shard.pop(session_id, None)
+
+    async def session_info(self, session_id: str) -> dict:
+        self._require_running()
+        info = await self.shards[self.session_shard(session_id)].session_info(
+            session_id
+        )
+        info["shard"] = self.session_shard(session_id)
+        return info
+
+    # -- health / stats / metrics ---------------------------------------------
+
+    async def health(self) -> dict:
+        """Per-shard liveness payloads keyed by shard index."""
+        self._require_running()
+        payloads = await asyncio.gather(
+            *(shard.health() for shard in self.shards)
+        )
+        return {
+            "shards": self.options.num_shards,
+            "transport": self.options.transport,
+            "per_shard": {index: payload for index, payload in enumerate(payloads)},
+        }
+
+    async def stats(self) -> ClusterStats:
+        """Cluster-wide :class:`ClusterStats` (totals + per-shard views)."""
+        self._require_running()
+        per_shard = list(
+            await asyncio.gather(*(shard.stats() for shard in self.shards))
+        )
+        hist = self._latency_hist
+        requests = sum(stats.requests for stats in per_shard)
+        wall = (
+            (self._finished_at or 0.0) - (self._started_at or 0.0)
+            if self._started_at is not None
+            else 0.0
+        )
+        totals = ServiceStats(
+            requests=requests,
+            coalesced=sum(stats.coalesced for stats in per_shard),
+            cache_hits=sum(stats.cache_hits for stats in per_shard),
+            batches=sum(stats.batches for stats in per_shard),
+            shed=sum(self._shed),
+            solver_invocations=sum(
+                stats.solver_invocations for stats in per_shard
+            ),
+            mean_latency=hist.mean,
+            p50_latency=hist.quantile(0.50),
+            p95_latency=hist.quantile(0.95),
+            p99_latency=hist.quantile(0.99),
+            max_latency=hist.max,
+            throughput=requests / wall if wall > 0 else 0.0,
+            wall_time=wall,
+            history_window=sum(stats.history_window for stats in per_shard),
+            cache=_sum_numeric([stats.cache for stats in per_shard]),
+            sessions_open=sum(stats.sessions_open for stats in per_shard),
+            sessions_opened=sum(stats.sessions_opened for stats in per_shard),
+            sessions_evicted=sum(
+                stats.sessions_evicted for stats in per_shard
+            ),
+            incremental=_sum_numeric(
+                [stats.incremental for stats in per_shard]
+            ),
+        )
+        return ClusterStats(
+            shards=self.options.num_shards,
+            totals=totals,
+            per_shard=per_shard,
+            routed=list(self._routed),
+            shed=list(self._shed),
+            queue_depth=list(self._pending),
+            peak_queue_depth=list(self._peak_pending),
+            sessions_pinned=len(self._session_shard),
+            gossip_prefetches=self._gossip_prefetches,
+        )
+
+    def _collect_metrics(self) -> dict:
+        shard_labels = ("shard",)
+        return {
+            "repro_cluster_shards": (
+                "gauge", "Shards in the cluster", self.options.num_shards,
+            ),
+            "repro_cluster_requests_total": (
+                "counter", "Requests routed, by shard",
+                {(str(i),): count for i, count in enumerate(self._routed)},
+                shard_labels,
+            ),
+            "repro_cluster_shed_total": (
+                "counter", "Requests shed by admission control, by shard",
+                {(str(i),): count for i, count in enumerate(self._shed)},
+                shard_labels,
+            ),
+            "repro_cluster_queue_depth": (
+                "gauge", "Requests currently pending, by shard",
+                {(str(i),): depth for i, depth in enumerate(self._pending)},
+                shard_labels,
+            ),
+            "repro_cluster_peak_queue_depth": (
+                "gauge", "Highest pending depth observed, by shard",
+                {(str(i),): depth for i, depth in enumerate(self._peak_pending)},
+                shard_labels,
+            ),
+            "repro_cluster_retry_after_seconds": (
+                "gauge", "Back-off hint handed to shed callers",
+                self.options.retry_after,
+            ),
+            "repro_cluster_sessions_pinned": (
+                "gauge", "Sessions currently pinned to a shard",
+                len(self._session_shard),
+            ),
+            "repro_cluster_gossip_prefetch_total": (
+                "counter", "Hot fingerprints prefetched into non-owning shards",
+                self._gossip_prefetches,
+            ),
+        }
+
+    async def export_metrics_prometheus(self) -> str:
+        """One cluster-wide Prometheus exposition.
+
+        Per-shard samples are summed (:func:`aggregate_prometheus`) and the
+        router's own ``repro_cluster_*`` series are appended; the names are
+        disjoint, so the concatenation is a valid exposition.
+        """
+        self._require_running()
+        texts = list(
+            await asyncio.gather(
+                *(shard.export_metrics_prometheus() for shard in self.shards)
+            )
+        )
+        return aggregate_prometheus(texts) + render_prometheus(self.metrics)

@@ -1,0 +1,36 @@
+"""Load harness for the serving layer: user classes, runner, reporting.
+
+Compose seeded user classes (:class:`QueryMixUser`, :class:`SessionEditUser`,
+:class:`ReplayUser`) into a deterministic plan (:func:`build_plan`), drive it
+closed-loop (:func:`run_closed_loop`: next op after previous response,
+backpressure retried) or open-loop (:func:`run_open_loop`: scheduled
+arrivals, sheds recorded) against a :class:`~repro.service.QueryServer` or
+:class:`~repro.cluster.ClusterRouter`, and condense the raw results into a
+:class:`LoadReport` (exact p50/p95/p99, QPS, hit rate, sheds, per-shard
+balance, per-operation answer digests for cross-topology parity).
+"""
+
+from repro.loadgen.report import LoadReport, answer_digest, build_report, percentile
+from repro.loadgen.runner import OperationResult, run_closed_loop, run_open_loop
+from repro.loadgen.users import (
+    Operation,
+    QueryMixUser,
+    ReplayUser,
+    SessionEditUser,
+    build_plan,
+)
+
+__all__ = [
+    "Operation",
+    "OperationResult",
+    "QueryMixUser",
+    "SessionEditUser",
+    "ReplayUser",
+    "LoadReport",
+    "answer_digest",
+    "build_plan",
+    "build_report",
+    "percentile",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,158 @@
+"""Load-run reporting: exact percentiles, answer digests, one JSON record.
+
+The runner keeps every raw latency, so percentiles here are **exact**
+(nearest-rank over the sorted sample), unlike the serving side's streaming
+histogram -- the load generator is the measurement instrument, the server's
+histogram is the always-on approximation it validates.
+
+:func:`answer_digest` is the cross-topology comparison key: a SHA-256 over
+the canonical JSON of a result with its wall-clock ``solve_time`` removed
+(the one field that legitimately differs between two bitwise-identical
+solves).  Two topologies serving the same plan must produce identical
+digest streams -- that is the parity bar the bench harness enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["answer_digest", "percentile", "LoadReport", "build_report"]
+
+
+def answer_digest(result) -> str:
+    """Canonical digest of a solve answer (timing excluded)."""
+    payload = result.to_dict() if hasattr(result, "to_dict") else dict(result)
+    payload.pop("solve_time", None)
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def percentile(values, q: float) -> float:
+    """Exact nearest-rank percentile (``q`` in [0, 1]) of a raw sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("percentile must be within [0, 1]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """One load run, condensed to the numbers the benchmark records.
+
+    Attributes:
+        mode: ``"closed"`` or ``"open"``.
+        operations: Operations attempted (including shed ones).
+        completed: Operations that got an answer.
+        errors: Operations that failed with a non-backpressure error.
+        shed: Operations rejected by admission control (open loop; the
+            closed loop retries instead and counts ``retries``).
+        retries: Backpressure retries performed (closed loop).
+        wall_time: Seconds from first arrival to last completion.
+        qps: Completed solving operations per wall-clock second
+            (session opens are bookkeeping and excluded).
+        latency: Exact mean/p50/p95/p99/max over completed solves, seconds.
+        hit_rate: Cache hits / completed solves.
+        coalesce_rate: Coalesced / completed solves.
+        per_shard: Completed solves by shard index (balance view).
+        peak_queue_depth: Router's per-shard high-water pending depth
+            (empty for single-server targets).
+        digests: ``{"lane:index": answer digest}`` for parity comparison.
+    """
+
+    mode: str
+    operations: int
+    completed: int
+    errors: int
+    shed: int
+    retries: int
+    wall_time: float
+    qps: float
+    latency: dict
+    hit_rate: float
+    coalesce_rate: float
+    per_shard: dict
+    peak_queue_depth: list = field(default_factory=list)
+    digests: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "operations": self.operations,
+            "completed": self.completed,
+            "errors": self.errors,
+            "shed": self.shed,
+            "retries": self.retries,
+            "wall_time": self.wall_time,
+            "qps": self.qps,
+            "latency": dict(self.latency),
+            "hit_rate": self.hit_rate,
+            "coalesce_rate": self.coalesce_rate,
+            "per_shard": dict(self.per_shard),
+            "peak_queue_depth": list(self.peak_queue_depth),
+        }
+
+    def describe(self) -> str:
+        balance = "/".join(
+            str(self.per_shard[key]) for key in sorted(self.per_shard)
+        )
+        return (
+            f"[{self.mode}] {self.completed}/{self.operations} ops in "
+            f"{self.wall_time:.2f}s ({self.qps:.1f} qps) | "
+            f"shed={self.shed} errors={self.errors} retries={self.retries} | "
+            f"hits={self.hit_rate:.0%} coalesced={self.coalesce_rate:.0%} | "
+            f"latency p50={self.latency['p50'] * 1e3:.1f}ms "
+            f"p95={self.latency['p95'] * 1e3:.1f}ms "
+            f"p99={self.latency['p99'] * 1e3:.1f}ms | balance={balance}"
+        )
+
+
+def build_report(
+    mode: str, results: list, wall_time: float, cluster_stats=None
+) -> LoadReport:
+    """Condense runner output (plus optional router stats) to a report."""
+    solves = [r for r in results if r.ok and r.kind != "session_open"]
+    errors = [r for r in results if not r.ok and not r.shed]
+    shed = [r for r in results if r.shed]
+    latencies = [r.latency for r in solves]
+    per_shard: dict = {}
+    for result in solves:
+        per_shard[result.shard] = per_shard.get(result.shard, 0) + 1
+    return LoadReport(
+        mode=mode,
+        operations=len(results),
+        completed=sum(1 for r in results if r.ok),
+        errors=len(errors),
+        shed=len(shed),
+        retries=sum(r.retries for r in results),
+        wall_time=wall_time,
+        qps=len(solves) / wall_time if wall_time > 0 else 0.0,
+        latency={
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "max": max(latencies) if latencies else 0.0,
+        },
+        hit_rate=(
+            sum(r.cache_hit for r in solves) / len(solves) if solves else 0.0
+        ),
+        coalesce_rate=(
+            sum(r.coalesced for r in solves) / len(solves) if solves else 0.0
+        ),
+        per_shard=per_shard,
+        peak_queue_depth=(
+            list(cluster_stats.peak_queue_depth)
+            if cluster_stats is not None
+            else []
+        ),
+        digests={
+            f"{r.lane}:{r.index}": r.digest for r in solves if r.digest
+        },
+    )

@@ -1,0 +1,245 @@
+"""Composable user classes: seeded generators of serving operations.
+
+A *user class* turns a seed into a deterministic **lane** of
+:class:`Operation` values -- the unit of work the runner
+(:mod:`repro.loadgen.runner`) drives against a server or cluster.  Three
+classes cover the workload shapes the serving layer must survive:
+
+* :class:`QueryMixUser` -- a stochastic stateless query mix over scenario
+  families, drawing from a bounded problem pool so repeats (cache hits,
+  coalescing) occur at a seed-determined rate;
+* :class:`SessionEditUser` -- an interactive editing chain: open a session,
+  then ship a seeded sequence of :func:`repro.scenarios.mutation_delta`
+  edits (the incremental-synthesis path under load);
+* :class:`ReplayUser` -- trace-driven replay of a :mod:`repro.obs`
+  workload-profile JSONL: the recorded repeat structure, method mix, and
+  inter-arrival gaps are preserved, with each distinct recorded
+  fingerprint mapped onto a generated problem (profiles store
+  fingerprints, not payloads, so replay reproduces the workload's *shape*
+  -- hit/miss pattern and arrival process -- not its exact matrices).
+
+Everything is keyed by ``derive_rng(seed, "loadgen", lane_name, ...)``
+child streams, so the same seed reproduces the same plan byte-for-byte no
+matter which users run or in which order -- which is what lets the bench
+harness replay one plan against a single server and a cluster and demand
+bitwise-equal answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.rng import derive_rng
+from repro.obs.profile import WorkloadProfile
+from repro.scenarios import MUTATION_KINDS, mutation_delta, scenario_problem
+
+__all__ = [
+    "Operation",
+    "QueryMixUser",
+    "SessionEditUser",
+    "ReplayUser",
+    "build_plan",
+]
+
+DEFAULT_FAMILIES = ("tied_scores", "heavy_tail", "rank_reversal", "degenerate")
+
+
+@dataclass
+class Operation:
+    """One unit of load: a query, a session open, or a session edit.
+
+    Attributes:
+        lane: Name of the user lane this operation belongs to; per-lane
+            order is preserved by every runner mode.
+        index: Position within the lane.
+        kind: ``"query"`` | ``"session_open"`` | ``"session_edit"``.
+        problem: The ranking problem (queries and session opens).
+        method: Registered method name.
+        params: Method options.
+        session_key: Lane-local session handle tying edits to their open.
+        deltas: Wire-form delta dicts (session edits).
+        gap: Seconds since the lane's previous operation -- the arrival
+            process an open-loop runner honours.
+    """
+
+    lane: str
+    index: int
+    kind: str
+    problem: object = None
+    method: str = "symgd"
+    params: dict = field(default_factory=dict)
+    session_key: str | None = None
+    deltas: list | None = None
+    gap: float = 0.0
+
+
+@dataclass
+class QueryMixUser:
+    """Stateless stochastic query mix over scenario families.
+
+    Draws ``count`` queries from a pool of ``pool_size`` problems spread
+    over ``families`` (round-robin), so the repeat rate -- and with it the
+    cache-hit rate under load -- is ``1 - pool_size/count`` in expectation
+    for uniform draws.  ``mean_gap`` shapes an exponential (Poisson)
+    arrival process for open-loop runs; zero packs the lane back-to-back.
+    """
+
+    name: str
+    families: tuple = DEFAULT_FAMILIES
+    count: int = 20
+    pool_size: int = 6
+    methods: tuple = ("symgd",)
+    params: dict = field(default_factory=dict)
+    mean_gap: float = 0.0
+    seed_index: int = 0
+
+    def build(self, seed) -> list[Operation]:
+        rng = derive_rng(seed, "loadgen", self.name)
+        pool = [
+            scenario_problem(
+                self.families[slot % len(self.families)],
+                self.seed_index + slot // len(self.families),
+                seed=seed,
+            )
+            for slot in range(self.pool_size)
+        ]
+        operations = []
+        for index in range(self.count):
+            slot = int(rng.integers(0, len(pool)))
+            method = self.methods[int(rng.integers(0, len(self.methods)))]
+            gap = float(rng.exponential(self.mean_gap)) if self.mean_gap > 0 else 0.0
+            operations.append(
+                Operation(
+                    lane=self.name,
+                    index=index,
+                    kind="query",
+                    problem=pool[slot],
+                    method=method,
+                    params=dict(self.params),
+                    gap=gap,
+                )
+            )
+        return operations
+
+
+@dataclass
+class SessionEditUser:
+    """An interactive editor: one session, a chain of seeded edits.
+
+    The first operation opens a session on a scenario problem; each
+    subsequent operation ships a :func:`repro.scenarios.mutation_delta`
+    chain (kind drawn from ``kinds``) against the evolving head.  The head
+    is tracked locally, so the plan is fully determined before anything is
+    submitted -- two targets replaying the same plan solve identical
+    problem sequences.
+    """
+
+    name: str
+    family: str = "tied_scores"
+    index: int = 0
+    edits: int = 5
+    method: str = "symgd"
+    params: dict = field(default_factory=dict)
+    kinds: tuple = MUTATION_KINDS
+    mean_gap: float = 0.0
+
+    def build(self, seed) -> list[Operation]:
+        rng = derive_rng(seed, "loadgen", self.name)
+        head = scenario_problem(self.family, self.index, seed=seed)
+        operations = [
+            Operation(
+                lane=self.name,
+                index=0,
+                kind="session_open",
+                problem=head,
+                method=self.method,
+                params=dict(self.params),
+                session_key=self.name,
+            )
+        ]
+        for edit in range(self.edits):
+            kind = self.kinds[int(rng.integers(0, len(self.kinds)))]
+            deltas, _ = mutation_delta(head, kind, seed=int(rng.integers(0, 2**31)))
+            if deltas:
+                head = head.apply_delta(deltas)
+            gap = float(rng.exponential(self.mean_gap)) if self.mean_gap > 0 else 0.0
+            operations.append(
+                Operation(
+                    lane=self.name,
+                    index=edit + 1,
+                    kind="session_edit",
+                    method=self.method,
+                    params=dict(self.params),
+                    session_key=self.name,
+                    deltas=[delta.to_dict() for delta in deltas],
+                    gap=gap,
+                )
+            )
+        return operations
+
+
+@dataclass
+class ReplayUser:
+    """Trace-driven replay of a recorded workload profile.
+
+    ``profile`` is a :class:`~repro.obs.profile.WorkloadProfile` (or a path
+    to its JSONL).  Each record becomes one query: the i-th *distinct*
+    recorded fingerprint (first-appearance order) maps to the i-th problem
+    of a generated catalog over ``families``, so the replayed stream has
+    exactly the recorded repeat structure -- same hit/miss skeleton --
+    plus the recorded inter-arrival gaps for open-loop replay.  Recorded
+    methods are kept unless ``method`` overrides them (a profile recorded
+    with methods this deployment does not serve replays under the
+    override).
+    """
+
+    name: str
+    profile: object = None
+    families: tuple = DEFAULT_FAMILIES
+    method: str | None = None
+    params: dict = field(default_factory=dict)
+    limit: int | None = None
+
+    def build(self, seed) -> list[Operation]:
+        profile = self.profile
+        if not isinstance(profile, WorkloadProfile):
+            profile = WorkloadProfile.load(profile)
+        records = profile.records[: self.limit] if self.limit else profile.records
+        catalog: dict[str, object] = {}
+        operations = []
+        for index, record in enumerate(records):
+            problem = catalog.get(record.fingerprint)
+            if problem is None:
+                slot = len(catalog)
+                problem = scenario_problem(
+                    self.families[slot % len(self.families)],
+                    slot // len(self.families),
+                    seed=seed,
+                )
+                catalog[record.fingerprint] = problem
+            operations.append(
+                Operation(
+                    lane=self.name,
+                    index=index,
+                    kind="query",
+                    problem=problem,
+                    method=self.method or record.method,
+                    params=dict(self.params),
+                    gap=record.gap,
+                )
+            )
+        return operations
+
+
+def build_plan(users, seed=0) -> dict:
+    """``{lane_name: [Operation, ...]}`` for a set of user classes.
+
+    Lanes are independent seeded streams; the plan only depends on
+    ``(users, seed)``, never on execution order or timing.
+    """
+    plan = {}
+    for user in users:
+        if user.name in plan:
+            raise ValueError(f"duplicate user lane name {user.name!r}")
+        plan[user.name] = user.build(seed)
+    return plan

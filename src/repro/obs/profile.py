@@ -168,6 +168,17 @@ class WorkloadRecorder:
         """Snapshot the in-memory tail as a :class:`WorkloadProfile`."""
         return WorkloadProfile(self.records)
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS without closing the sink.
+
+        :meth:`QueryServer.drain` calls this so a profile consumer tailing
+        the JSONL file sees every drained request even while the server
+        keeps running.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
     def close(self) -> None:
         with self._lock:
             if self._handle is not None:

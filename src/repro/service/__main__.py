@@ -19,6 +19,13 @@ per request), and ``--metrics-prom`` / ``--metrics-json`` print the unified
 metrics registry (service + engine + cache counters, latency histogram)
 after the run.
 
+With ``--workers N`` the burst runs through a sharded
+:class:`~repro.cluster.ClusterRouter` instead of a single server: N worker
+shards (``--cluster-transport`` picks in-process cores or separate worker
+processes), fingerprint routing, admission control (``--queue-limit``), and
+the cluster-wide stats/metrics aggregation.  ``--executor-workers`` caps
+each engine's *executor* pool -- a different axis than ``--workers``.
+
 Examples::
 
     python -m repro.service --dataset nba --queries 24 --distinct 4
@@ -27,6 +34,7 @@ Examples::
     python -m repro.service --scenario tied_scores,heavy_tail --queries 12
     python -m repro.service --session --scenario rank_reversal --edits 4
     python -m repro.service --trace --trace-out trace.json --metrics-prom
+    python -m repro.service --workers 2 --queries 24 --metrics-prom
 """
 
 from __future__ import annotations
@@ -92,16 +100,10 @@ def build_query_pool(
     return problems
 
 
-async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
-    problems = build_query_pool(
-        args.dataset,
-        args.distinct,
-        args.tuples,
-        args.seed,
-        scenario_families=args.scenario_families,
-    )
+def method_params(args: argparse.Namespace) -> dict:
+    """Method options for the burst, from the CLI's tuning flags."""
     if args.method in ("symgd", "symgd_adaptive"):
-        params = {
+        return {
             "cell_size": args.cell_size,
             "max_iterations": args.max_iterations,
             "solver_options": {
@@ -110,33 +112,84 @@ async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
                 "warm_start_strategy": "none",
             },
         }
-    elif args.method == "rankhow":
+    if args.method == "rankhow":
         # RankHow options are flat (no nested solver_options).
-        params = {"node_limit": args.node_limit, "verify": False}
-    elif args.method == "sampling":
-        params = {"num_samples": args.samples, "seed": args.seed}
-    else:
-        # Remaining methods (baselines, tree) terminate on their registry
-        # defaults; tree in particular is capped by the adapter's
-        # service-friendly budgets.
-        params = {}
+        return {"node_limit": args.node_limit, "verify": False}
+    if args.method == "sampling":
+        return {"num_samples": args.samples, "seed": args.seed}
+    # Remaining methods (baselines, tree) terminate on their registry
+    # defaults; tree in particular is capped by the adapter's
+    # service-friendly budgets.
+    return {}
 
-    options = QueryServerOptions(
+
+def server_options(args: argparse.Namespace) -> QueryServerOptions:
+    return QueryServerOptions(
         backend=args.backend,
-        max_workers=args.workers,
+        max_workers=args.executor_workers,
         batch_window=args.batch_window,
         max_batch=args.max_batch,
         cache_dir=args.cache_dir,
         allowed_methods=args.allowed_methods,
     )
-    server = QueryServer(options=options, obs=args.obs)
+
+
+async def run_burst(args: argparse.Namespace) -> tuple[QueryServer, list]:
+    problems = build_query_pool(
+        args.dataset,
+        args.distinct,
+        args.tuples,
+        args.seed,
+        scenario_families=args.scenario_families,
+    )
+    params = method_params(args)
+    server = QueryServer(options=server_options(args), obs=args.obs)
     async with server:
         tasks = [
             server.submit(problems[i % len(problems)], args.method, params)
             for i in range(args.queries)
         ]
         responses = await asyncio.gather(*tasks)
+        # Everything is answered; drain still flushes the profile sink so
+        # the post-run reports read a complete JSONL.
+        await server.drain()
     return server, responses
+
+
+async def run_cluster_burst(args: argparse.Namespace) -> tuple[object, list]:
+    """The same burst, through a sharded cluster front-end."""
+    from repro.cluster import ClusterOptions, ClusterRouter
+
+    problems = build_query_pool(
+        args.dataset,
+        args.distinct,
+        args.tuples,
+        args.seed,
+        scenario_families=args.scenario_families,
+    )
+    params = method_params(args)
+    options = ClusterOptions(
+        num_shards=args.workers,
+        transport=args.cluster_transport,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        server=server_options(args),
+    )
+    cluster = ClusterRouter(options)
+    async with cluster:
+        tasks = [
+            cluster.submit(problems[i % len(problems)], args.method, params)
+            for i in range(args.queries)
+        ]
+        responses = await asyncio.gather(*tasks)
+        await cluster.drain()
+        stats = await cluster.stats()
+        metrics_text = (
+            await cluster.export_metrics_prometheus()
+            if args.metrics_prom
+            else None
+        )
+    return (stats, metrics_text), responses
 
 
 async def run_session_demo(args: argparse.Namespace) -> tuple[QueryServer, list]:
@@ -151,24 +204,10 @@ async def run_session_demo(args: argparse.Namespace) -> tuple[QueryServer, list]
         scenario_families=args.scenario_families,
     )
     base = problems[0]
-    if args.method in ("symgd", "symgd_adaptive"):
-        params = {
-            "cell_size": args.cell_size,
-            "max_iterations": args.max_iterations,
-            "solver_options": {
-                "node_limit": args.node_limit,
-                "verify": False,
-                "warm_start_strategy": "none",
-            },
-        }
-    elif args.method == "rankhow":
-        params = {"node_limit": args.node_limit, "verify": False}
-    else:
-        params = {}
-
+    params = method_params(args)
     options = QueryServerOptions(
         backend=args.backend,
-        max_workers=args.workers,
+        max_workers=args.executor_workers,
         cache_dir=args.cache_dir,
         allowed_methods=args.allowed_methods,
     )
@@ -256,7 +295,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--backend", default="serial",
                         choices=("serial", "thread", "process", "auto"))
-    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run the burst through a sharded cluster of N "
+                        "worker shards instead of a single server")
+    parser.add_argument("--cluster-transport", default="inproc",
+                        choices=("inproc", "process"),
+                        help="shard transport for --workers: in-process "
+                        "cores or separate worker processes (default: inproc)")
+    parser.add_argument("--queue-limit", type=int, default=32,
+                        help="per-shard admission limit for --workers "
+                        "(default: 32)")
+    parser.add_argument("--executor-workers", type=int, default=None,
+                        help="worker cap for each engine's executor pool")
     parser.add_argument("--batch-window", type=float, default=0.005)
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--cache-dir", default=None,
@@ -340,6 +390,45 @@ def main(argv: list[str] | None = None) -> int:
     args.obs = None
     if args.trace or args.trace_out or args.profile_out:
         args.obs = Observability.enabled(profile_path=args.profile_out)
+
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        if args.session:
+            parser.error("--session runs against a single server; the "
+                         "cluster path is query-burst only (sessions pin "
+                         "via the repro.cluster API)")
+        if args.obs is not None:
+            parser.error("--trace/--trace-out/--profile-out are per-server "
+                         "flags; the cluster path exports aggregated "
+                         "metrics via --metrics-prom")
+        (stats, metrics_text), responses = asyncio.run(run_cluster_burst(args))
+        if args.json:
+            payload = {
+                "cluster": stats.to_dict(),
+                "responses": [
+                    {
+                        "request_id": response.request_id,
+                        "shard": response.shard,
+                        "fingerprint": response.fingerprint,
+                        "cache_hit": response.cache_hit,
+                        "coalesced": response.coalesced,
+                        "latency": response.latency,
+                        "result": response.result.to_dict(),
+                    }
+                    for response in responses
+                ],
+            }
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            print(f"== repro.service cluster burst: {args.queries} x "
+                  f"{args.method} over {args.workers} shards "
+                  f"({args.cluster_transport} transport) ==")
+            print(stats.describe())
+        if metrics_text is not None:
+            sys.stdout.write(metrics_text)
+        return 0
 
     if args.session:
         server, steps = asyncio.run(run_session_demo(args))

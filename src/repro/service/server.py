@@ -193,12 +193,17 @@ class ServiceStats:
     ``history_window`` reports how many recent :class:`RequestRecord`
     entries :attr:`QueryServer.records` still holds -- only that
     drill-down view is windowed.
+
+    ``shed`` is always zero for a standalone server: admission control
+    lives in the cluster front-end (:class:`repro.cluster.ClusterRouter`),
+    whose aggregated stats reuse this class and fill the field in.
     """
 
     requests: int = 0
     coalesced: int = 0
     cache_hits: int = 0
     batches: int = 0
+    shed: int = 0
     solver_invocations: int = 0
     mean_latency: float = 0.0
     p50_latency: float = 0.0
@@ -219,6 +224,7 @@ class ServiceStats:
             f"{self.requests} requests in {self.wall_time:.2f}s "
             f"({self.throughput:.1f} req/s) | "
             f"coalesced={self.coalesced} cache_hits={self.cache_hits} "
+            f"shed={self.shed} "
             f"solves={self.solver_invocations} batches={self.batches} | "
             f"latency mean={self.mean_latency * 1e3:.1f}ms "
             f"p50={self.p50_latency * 1e3:.1f}ms "
@@ -271,6 +277,7 @@ class QueryServer:
             cache_capacity=self.options.cache_capacity,
             cache_dir=self.options.cache_dir,
         )
+        self._owns_obs = False
         if obs is not None:
             self.obs = obs
         elif self.engine.obs is not None:
@@ -279,6 +286,7 @@ class QueryServer:
             self.obs = self.engine.obs
         else:
             self.obs = Observability(metrics=MetricsRegistry())
+            self._owns_obs = True
         self.engine.attach_obs(self.obs)
         if self.obs.metrics is not None:
             self.obs.metrics.register_collector(self._collect_metrics)
@@ -375,12 +383,47 @@ class QueryServer:
             )
         return self
 
+    async def drain(self) -> None:
+        """Wait until every admitted request has been answered, then flush.
+
+        Unlike :meth:`stop`, the server keeps serving afterwards: the queue
+        is emptied, every in-flight future (query *and* session path)
+        resolves, session solve tasks finish, and the workload profile sink
+        -- if one is attached -- is flushed to disk so a consumer tailing
+        the JSONL sees the drained requests.  The cluster front-end calls
+        this per shard on graceful shutdown; the CLI calls it before
+        emitting post-run reports.
+        """
+        while True:
+            waiters = list(self._inflight.values()) + list(self._session_tasks)
+            queue_busy = self._queue is not None and not self._queue.empty()
+            if not waiters and not queue_busy:
+                break
+            if waiters:
+                await asyncio.gather(*waiters, return_exceptions=True)
+            else:
+                # Items are queued but their batch has not been picked up
+                # yet; yield to the batching loop and re-check.
+                await asyncio.sleep(0)
+        if self.obs.profile is not None:
+            self.obs.profile.flush()
+
+    def _fail_inflight(self, error: BaseException) -> None:
+        """Resolve every pending waiter with ``error`` (never silently drop)."""
+        while self._inflight:
+            key, future = self._inflight.popitem()
+            self._inflight_ctx.pop(key, None)
+            if not future.done():
+                future.set_exception(error)
+
     async def stop(self) -> None:
         """Drain the queue, stop the loop, release the owned engine.
 
         New :meth:`submit` calls are rejected from this point on; queries
         already submitted (even those enqueued while this call races them)
-        are still solved before the loop exits.
+        are still solved before the loop exits.  The workload profile is
+        flushed (and closed, when the server built its own bundle) so a
+        ``--profile-out`` JSONL is complete once the server is down.
         """
         if self._loop_task is not None:
             assert self._queue is not None
@@ -390,7 +433,12 @@ class QueryServer:
             # drained by the batch loop before it exits.
             self._closing = True
             self._queue.put_nowait(_SHUTDOWN)
-            await self._loop_task
+            try:
+                await self._loop_task
+            except asyncio.CancelledError:
+                # The loop was cancelled out from under us (its waiters were
+                # already failed by the loop's own except clause).
+                pass
             self._loop_task = None
             self._queue = None
         if self._session_tasks:
@@ -398,6 +446,13 @@ class QueryServer:
             # queue); anything already submitted is still answered.
             await asyncio.gather(*self._session_tasks, return_exceptions=True)
             self._session_tasks.clear()
+        # Nothing should be pending at this point; if the loop died early,
+        # waiters get a loud error instead of hanging forever.
+        self._fail_inflight(RuntimeError("QueryServer stopped"))
+        if self.obs.profile is not None:
+            self.obs.profile.flush()
+        if self._owns_obs:
+            self.obs.close()
         if self._owns_engine:
             self.engine.close()
 
@@ -803,6 +858,18 @@ class QueryServer:
     # -- batching loop --------------------------------------------------------
 
     async def _batch_loop(self) -> None:
+        try:
+            await self._batch_loop_inner()
+        except BaseException as error:
+            # The loop died abnormally (cancellation included): coalesced
+            # waiters parked on in-flight futures would otherwise hang
+            # forever.  Fail them loudly instead of dropping them.
+            self._fail_inflight(
+                RuntimeError(f"QueryServer batch loop terminated: {error!r}")
+            )
+            raise
+
+    async def _batch_loop_inner(self) -> None:
         assert self._queue is not None
         loop = asyncio.get_running_loop()
         while True:
@@ -871,6 +938,20 @@ class QueryServer:
             self._inflight_ctx.pop(key, None)
             if future is not None and not future.done():
                 future.set_result((outcome, len(batch)))
+
+    # -- cache tier plumbing --------------------------------------------------
+
+    def prefetch(self, fingerprint: str) -> bool:
+        """Pull a fingerprint into the in-memory result cache, if possible.
+
+        Promotes an entry from the shared disk tier (when one is
+        configured) into this server's LRU so a near-future request for the
+        same fingerprint is a memory hit.  The cluster router's hot-key
+        gossip calls this on the non-owning shards of a hot fingerprint.
+        Counts as a normal cache lookup in the stats.  Returns whether the
+        entry is now resident.
+        """
+        return self.engine.cache.get(fingerprint) is not None
 
     # -- telemetry ------------------------------------------------------------
 

@@ -1,0 +1,85 @@
+"""Process transport: real worker processes, parity, aggregated metrics."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.cluster import ClusterOptions, ClusterRouter
+from repro.loadgen import answer_digest
+from repro.obs.export import parse_prometheus
+from repro.scenarios import mutation_delta, scenario_problem
+from repro.service import QueryServer, QueryServerOptions
+
+FAST_PARAMS = {
+    "cell_size": 0.2,
+    "max_iterations": 4,
+    "solver_options": {
+        "node_limit": 60,
+        "verify": False,
+        "warm_start_strategy": "none",
+    },
+}
+
+def test_process_shards_serve_isolated_workers_with_identical_answers():
+    problems = [scenario_problem("rank_reversal", i, seed=4) for i in range(3)]
+    stream = problems + problems[:2]  # repeats hit the shard caches
+    base = problems[0]
+    deltas, _kind = mutation_delta(base, "jitter", seed=11)
+
+    async def run_cluster():
+        options = ClusterOptions(
+            num_shards=2,
+            transport="process",
+            server=QueryServerOptions(batch_window=0.0),
+        )
+        async with ClusterRouter(options) as cluster:
+            health = await cluster.health()
+            responses = [
+                await cluster.submit(p, "symgd", FAST_PARAMS) for p in stream
+            ]
+            session_id = await cluster.open_session(base, "symgd", FAST_PARAMS)
+            edited = await cluster.submit_session(session_id, deltas=deltas)
+            shard_texts = [
+                await shard.export_metrics_prometheus()
+                for shard in cluster.shards
+            ]
+            merged = parse_prometheus(await cluster.export_metrics_prometheus())
+            stats = await cluster.stats()
+        return health, responses, edited, shard_texts, merged, stats
+
+    async def run_single():
+        async with QueryServer(
+            options=QueryServerOptions(batch_window=0.0)
+        ) as server:
+            responses = [
+                await server.submit(p, "symgd", FAST_PARAMS) for p in stream
+            ]
+            session_id = await server.open_session(base, "symgd", FAST_PARAMS)
+            edited = await server.submit_session(session_id, deltas=deltas)
+        return responses, edited
+
+    health, responses, edited, shard_texts, merged, stats = asyncio.run(
+        run_cluster()
+    )
+    single_responses, single_edited = asyncio.run(run_single())
+
+    # Workers are real child processes, distinct from us and each other.
+    assert health["transport"] == "process"
+    pids = {entry["pid"] for entry in health["per_shard"].values()}
+    assert len(pids) == 2
+    assert os.getpid() not in pids
+
+    # Answers cross the pipe bitwise-identical to an in-process server,
+    # for plain queries and for a session edit chain alike.
+    for clustered, single in zip(responses, single_responses):
+        assert clustered.fingerprint == single.outcome.fingerprint
+        assert answer_digest(clustered.result) == answer_digest(single.result)
+    assert answer_digest(edited.result) == answer_digest(single_edited.result)
+
+    # Aggregated exposition sums the real per-process counters.
+    key = ("repro_service_requests_total", ())
+    per_shard = [parse_prometheus(text)[key] for text in shard_texts]
+    assert merged[key] == sum(per_shard)
+    assert stats.totals.requests == len(stream) + 1  # queries + session solve
+    assert stats.totals.cache_hits >= 2  # the repeated tail of the stream
