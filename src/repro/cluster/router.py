@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 
 from repro.core.problem import RankingProblem
@@ -94,11 +95,19 @@ class ClusterOptions:
             prefetched into every non-owning shard's memory cache
             (``0`` disables gossip).  Effective cross-shard only with a
             shared ``cache_dir``.
+        hot_count_limit: Max distinct fingerprints the gossip hot-counter
+            tracks; the least recently routed entry is dropped beyond this.
+            The bound turns what was a slow per-fingerprint memory leak in
+            a long-lived router into an LRU working set (an evicted
+            fingerprint that turns hot again simply recounts from zero --
+            re-gossiping a hot key is idempotent).
         cache_dir: Shared content-addressed disk cache directory handed to
             every shard (cross-shard hit tier).  ``None`` keeps caches
             shard-private.
         server: Per-shard :class:`QueryServerOptions`; ``cache_dir`` above
-            overrides the copy each shard receives.
+            overrides the copy each shard receives, and a ``hot_set_path``
+            is suffixed ``.s<index>`` per shard so hot-set files never
+            collide.
         mp_method: ``multiprocessing`` start method for process shards.
     """
 
@@ -107,6 +116,7 @@ class ClusterOptions:
     queue_limit: int = 32
     retry_after: float = 0.05
     gossip_threshold: int = 3
+    hot_count_limit: int = 4096
     cache_dir: str | None = None
     server: QueryServerOptions = field(default_factory=QueryServerOptions)
     mp_method: str = "spawn"
@@ -121,6 +131,8 @@ class ClusterOptions:
             )
         if self.queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if self.hot_count_limit < 1:
+            raise ValueError("hot_count_limit must be >= 1")
 
 
 @dataclass
@@ -158,6 +170,7 @@ class ClusterStats:
     peak_queue_depth: list
     sessions_pinned: int
     gossip_prefetches: int
+    hot_keys_tracked: int = 0
 
     def describe(self) -> str:
         balance = "/".join(str(n) for n in self.routed)
@@ -178,6 +191,7 @@ class ClusterStats:
             "peak_queue_depth": list(self.peak_queue_depth),
             "sessions_pinned": self.sessions_pinned,
             "gossip_prefetches": self.gossip_prefetches,
+            "hot_keys_tracked": self.hot_keys_tracked,
         }
 
 
@@ -221,7 +235,10 @@ class ClusterRouter:
         self._shed = [0] * self.options.num_shards
         self._session_shard: dict[str, int] = {}
         self._session_counter = 0
-        self._hot_counts: dict[str, int] = {}
+        # Bounded LRU of route counts feeding the gossip trigger (see
+        # ClusterOptions.hot_count_limit): high-cardinality fingerprint
+        # traffic recycles cold entries instead of growing without bound.
+        self._hot_counts: OrderedDict[str, int] = OrderedDict()
         self._gossip_tasks: set[asyncio.Task] = set()
         self._gossip_prefetches = 0
         self._request_counter = 0
@@ -241,12 +258,23 @@ class ClusterRouter:
         if self._started:
             return self
         for index in range(self.options.num_shards):
+            shard_options = self._server_options
+            if shard_options.hot_set_path is not None:
+                from dataclasses import replace
+
+                # Per-shard hot-set files: the resident sets differ by
+                # construction (fingerprint sharding), so sharing one file
+                # would have the last-drained shard clobber the others.
+                shard_options = replace(
+                    shard_options,
+                    hot_set_path=f"{shard_options.hot_set_path}.s{index}",
+                )
             if self.options.transport == "process":
                 shard = ProcessShard(
-                    index, self._server_options, mp_method=self.options.mp_method
+                    index, shard_options, mp_method=self.options.mp_method
                 )
             else:
-                shard = InprocShard(index, self._server_options)
+                shard = InprocShard(index, shard_options)
             self.shards.append(shard)
         try:
             await asyncio.gather(*(shard.start() for shard in self.shards))
@@ -325,6 +353,9 @@ class ClusterRouter:
             return
         count = self._hot_counts.get(fingerprint, 0) + 1
         self._hot_counts[fingerprint] = count
+        self._hot_counts.move_to_end(fingerprint)
+        while len(self._hot_counts) > self.options.hot_count_limit:
+            self._hot_counts.popitem(last=False)
         if count != threshold:
             return  # fire exactly once per fingerprint, when it turns hot
         for index, shard in enumerate(self.shards):
@@ -584,6 +615,7 @@ class ClusterRouter:
             sessions_evicted=sum(
                 stats.sessions_evicted for stats in per_shard
             ),
+            prewarmed=sum(stats.prewarmed for stats in per_shard),
             incremental=_sum_numeric(
                 [stats.incremental for stats in per_shard]
             ),
@@ -598,6 +630,7 @@ class ClusterRouter:
             peak_queue_depth=list(self._peak_pending),
             sessions_pinned=len(self._session_shard),
             gossip_prefetches=self._gossip_prefetches,
+            hot_keys_tracked=len(self._hot_counts),
         )
 
     def _collect_metrics(self) -> dict:
@@ -637,6 +670,11 @@ class ClusterRouter:
             "repro_cluster_gossip_prefetch_total": (
                 "counter", "Hot fingerprints prefetched into non-owning shards",
                 self._gossip_prefetches,
+            ),
+            "repro_cluster_hot_keys_tracked": (
+                "gauge",
+                "Fingerprints currently tracked by the gossip hot-counter",
+                len(self._hot_counts),
             ),
         }
 

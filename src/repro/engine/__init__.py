@@ -10,6 +10,8 @@ throughput.  It sits between :mod:`repro.core` (the algorithms) and
 * :mod:`repro.engine.fingerprint` -- canonical SHA-256 digests of problems,
   cells, and solver options (content addressing);
 * :mod:`repro.engine.cache` -- LRU + optional on-disk JSON result cache;
+* :mod:`repro.engine.policy` -- pluggable cache policies (cost x frequency
+  scoring, hot-set persistence metadata, prewarm prediction);
 * :mod:`repro.engine.engine` -- :class:`SolveEngine`, the cached, batched,
   parallel request executor everything above builds on.
 """
@@ -17,6 +19,13 @@ throughput.  It sits between :mod:`repro.core` (the algorithms) and
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.context import SolveArtifacts, SolveContext
 from repro.engine.engine import IncrementalStats, SolveEngine, SolveOutcome, SolveRequest
+from repro.engine.policy import (
+    POLICY_NAMES,
+    CachePolicy,
+    CostAwarePolicy,
+    make_policy,
+    predict_next_deltas,
+)
 from repro.engine.executor import (
     BACKEND_NAMES,
     Executor,
@@ -44,9 +53,12 @@ from repro.engine.tasks import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "CachePolicy",
     "CacheStats",
+    "CostAwarePolicy",
     "Executor",
     "ExecutorStats",
+    "POLICY_NAMES",
     "ProcessExecutor",
     "ResultCache",
     "SOLVE_METHODS",
@@ -68,5 +80,7 @@ __all__ = [
     "fingerprint_options",
     "fingerprint_problem",
     "get_executor",
+    "make_policy",
+    "predict_next_deltas",
     "solve_request_task",
 ]

@@ -20,19 +20,27 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.result import SynthesisResult
+from repro.engine.policy import make_policy
 
 __all__ = ["CacheStats", "ResultCache"]
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters, exposed in service telemetry."""
+    """Hit/miss/eviction counters, exposed in service telemetry.
+
+    ``promotions`` counts stats-neutral disk-to-memory promotions
+    (:meth:`ResultCache.promote`): plumbing traffic -- gossip prefetches,
+    hot-set reloads -- that must not pollute the hit/miss ratio an adaptive
+    policy learns from.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    promotions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -49,6 +57,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "promotions": self.promotions,
             "hit_rate": self.hit_rate,
         }
 
@@ -63,16 +72,32 @@ class ResultCache:
             solve.
         disk_path: Directory for the JSON tier; created on demand.  ``None``
             keeps the cache purely in memory.
+        policy: Eviction policy -- a registered name (``"lru"`` / ``"cost"``),
+            a :class:`~repro.engine.policy.CachePolicy` instance, or ``None``.
+            ``"lru"``/``None`` keep the plain recency LRU (the historical
+            behaviour); ``"cost"`` evicts by recompute-cost x EWMA
+            hit-frequency score instead of recency.  Policies never change
+            what a hit returns -- only which keys stay resident.
     """
 
-    def __init__(self, capacity: int = 512, disk_path: str | Path | None = None):
+    def __init__(
+        self,
+        capacity: int = 512,
+        disk_path: str | Path | None = None,
+        policy=None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self.disk_path = Path(disk_path) if disk_path is not None else None
+        self.policy = make_policy(policy)
         self.stats = CacheStats()
         self._entries: OrderedDict[str, SynthesisResult] = OrderedDict()
         self._lock = threading.Lock()
+
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name if self.policy is not None else "lru"
 
     # -- lookup / store -------------------------------------------------------
 
@@ -85,26 +110,68 @@ class ResultCache:
         with self._lock:
             result = self._entries.get(key)
             if result is not None:
-                self._entries.move_to_end(key)
+                self._note_access(key)
                 self.stats.hits += 1
                 return result.copy()
-        result = self._load_from_disk(key)
+        disk_result = self._load_from_disk(key)
         with self._lock:
-            if result is not None:
+            # Re-check memory before declaring a miss: a concurrent put()
+            # may have landed while the lock was released for the disk
+            # probe, and recording its entry as a miss would both return a
+            # stale None and corrupt the hit-rate signal adaptive policies
+            # learn from.
+            resident = self._entries.get(key)
+            if resident is not None:
+                self._note_access(key)
+                self.stats.hits += 1
+                return resident.copy()
+            if disk_result is not None:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
-                self._insert(key, result.copy())
+                self._insert(key, disk_result.copy(), cost=disk_result.solve_time)
             else:
                 self.stats.misses += 1
-        return result
+        return disk_result
 
-    def put(self, key: str, result: SynthesisResult) -> None:
-        """Store a result under a fingerprint (memory and, if set, disk)."""
+    def put(self, key: str, result: SynthesisResult, cost: float | None = None) -> None:
+        """Store a result under a fingerprint (memory and, if set, disk).
+
+        ``cost`` is the recompute wall time behind the result (the engine
+        threads its measured solve time through); it feeds the cost-aware
+        policy's keep-score and defaults to the result's own recorded
+        ``solve_time``.
+        """
+        if cost is None:
+            cost = result.solve_time
         with self._lock:
             self.stats.stores += 1
             # Store a private copy: the caller keeps (and may mutate) its own.
-            self._insert(key, result.copy())
+            self._insert(key, result.copy(), cost=cost)
         self._write_to_disk(key, result)
+
+    def promote(self, key: str) -> bool:
+        """Stats-neutral disk-to-memory promotion; returns residency.
+
+        The cluster's hot-key gossip (and the hot-set reload on startup)
+        pull entries into the memory LRU *speculatively* -- that traffic is
+        plumbing, not workload, so it must not count as hits or misses: an
+        adaptive policy trained on gossip-inflated counters would learn the
+        cluster topology instead of the query stream.  Promotions get their
+        own counter (``stats.promotions``) instead.
+        """
+        with self._lock:
+            if key in self._entries:
+                # Already resident: refresh nothing but recency-neutrally
+                # report residency (no hit recorded, no reordering).
+                return True
+        result = self._load_from_disk(key)
+        if result is None:
+            return False
+        with self._lock:
+            if key not in self._entries:
+                self.stats.promotions += 1
+                self._insert(key, result, cost=result.solve_time)
+        return True
 
     def get_or_compute(
         self, key: str, compute: Callable[[], SynthesisResult]
@@ -117,11 +184,28 @@ class ResultCache:
         self.put(key, result)
         return result, False
 
-    def _insert(self, key: str, result: SynthesisResult) -> None:
+    def _note_access(self, key: str) -> None:
+        """Record a memory hit with the active policy (lock held)."""
+        self._entries.move_to_end(key)
+        if self.policy is not None:
+            self.policy.on_access(key)
+
+    def _insert(self, key: str, result: SynthesisResult, cost: float = 0.0) -> None:
         self._entries[key] = result
         self._entries.move_to_end(key)
+        if self.policy is not None:
+            self.policy.on_store(key, max(float(cost), 0.0))
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            if self.policy is not None:
+                # Lowest keep-score goes -- which may be the entry just
+                # inserted: evicting the newcomer is exactly the admission
+                # filter that keeps scan traffic from displacing the hot
+                # set (the entry still reaches the disk tier via put()).
+                victim = self.policy.victim(self._entries)
+                self._entries.pop(victim)
+                self.policy.forget(victim)
+            else:
+                self._entries.popitem(last=False)
             self.stats.evictions += 1
 
     # -- disk tier ------------------------------------------------------------
@@ -165,12 +249,82 @@ class ResultCache:
                 except OSError:
                     pass
 
+    # -- hot-set persistence --------------------------------------------------
+
+    def save_hot_set(self, path: str | Path) -> int:
+        """Serialize the resident set (keys + policy scores) to JSON.
+
+        The file records fingerprints in cache order (least recently used
+        first) plus, under a scoring policy, each key's score/frequency/cost
+        metadata -- enough for :meth:`load_hot_set` to rebuild both the
+        resident set and the priorities that earned it.  Returns the number
+        of entries written; write failures are swallowed (a full disk must
+        not fail a drain), leaving any previous file intact.
+        """
+        path = Path(path)
+        with self._lock:
+            keys = list(self._entries)
+            if self.policy is not None:
+                entries = self.policy.export_entries(keys)
+            else:
+                entries = [{"fingerprint": key} for key in keys]
+        payload = {"version": 1, "policy": self.policy_name, "entries": entries}
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except (OSError, TypeError, ValueError):
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return 0
+        return len(entries)
+
+    def load_hot_set(self, path: str | Path) -> int:
+        """Rebuild the memory tier from a :meth:`save_hot_set` file.
+
+        Each recorded fingerprint is promoted from the disk tier
+        (stats-neutral: ``promotions``, never hits/misses) in saved order,
+        so the LRU order and -- when the active policy matches the saved
+        one -- the keep-scores survive a restart.  Entries whose disk file
+        is gone are skipped; a missing or corrupt hot-set file loads
+        nothing.  Returns the number of entries promoted.
+        """
+        try:
+            with Path(path).open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entries = list(payload["entries"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return 0
+        seed_scores = (
+            self.policy is not None and payload.get("policy") == self.policy_name
+        )
+        loaded = 0
+        for entry in entries:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                continue
+            key = str(entry["fingerprint"])
+            if not self.promote(key):
+                continue
+            loaded += 1
+            if seed_scores:
+                with self._lock:
+                    self.policy.seed(dict(entry, fingerprint=key))
+        return loaded
+
     # -- maintenance ----------------------------------------------------------
 
     def clear(self, disk: bool = False) -> None:
         """Drop every in-memory entry (and, optionally, the disk tier)."""
         with self._lock:
             self._entries.clear()
+            if self.policy is not None:
+                self.policy.clear()
         if disk and self.disk_path is not None and self.disk_path.is_dir():
             for file in self.disk_path.glob("*.json"):
                 try:

@@ -100,6 +100,11 @@ class SolveEngine:
             create one from ``cache_capacity`` / ``cache_dir``.
         cache_capacity: In-memory LRU size for the created cache.
         cache_dir: Optional on-disk JSON tier for the created cache.
+        cache_policy: Eviction policy for the created cache (``"lru"`` --
+            the default recency LRU -- or ``"cost"`` for recompute-cost x
+            hit-frequency scoring); ignored when an existing ``cache`` is
+            shared.  Policies are answer-neutral: they change which keys
+            stay resident, never what any request returns.
         obs: Optional :class:`~repro.obs.Observability` bundle.  With a
             tracer, every dispatch opens spans (cache decision, executor
             queue-wait/run, solver internals); with a metrics registry, the
@@ -114,6 +119,7 @@ class SolveEngine:
         cache: ResultCache | None = None,
         cache_capacity: int = 512,
         cache_dir: str | Path | None = None,
+        cache_policy: str | None = None,
         obs=None,
     ) -> None:
         self.executor = get_executor(backend, max_workers)
@@ -121,9 +127,12 @@ class SolveEngine:
         self.cache = (
             cache
             if cache is not None
-            else ResultCache(capacity=cache_capacity, disk_path=cache_dir)
+            else ResultCache(
+                capacity=cache_capacity, disk_path=cache_dir, policy=cache_policy
+            )
         )
         self.solver_invocations = 0
+        self.prewarm_solves = 0
         self.incremental_stats = IncrementalStats()
         self.obs = None
         if obs is not None:
@@ -174,6 +183,16 @@ class SolveEngine:
             "repro_engine_cache_disk_hits_total": (
                 "counter", "Result-cache disk-tier hits", float(cache.disk_hits),
             ),
+            "repro_engine_cache_promotions_total": (
+                "counter",
+                "Stats-neutral disk-to-memory promotions",
+                float(cache.promotions),
+            ),
+            "repro_engine_prewarm_solves_total": (
+                "counter",
+                "Speculative solves spent on prewarm predictions",
+                float(self.prewarm_solves),
+            ),
             "repro_engine_executor_tasks_total": (
                 "counter", "Executor tasks fanned out", float(executor.tasks),
             ),
@@ -208,6 +227,7 @@ class SolveEngine:
         """
         with self._artifact_lock:
             self.solver_invocations = 0
+            self.prewarm_solves = 0
             self.incremental_stats = IncrementalStats()
         self.executor.stats = ExecutorStats()
         self.cache.stats = CacheStats()
@@ -295,8 +315,13 @@ class SolveEngine:
                 )
             else:
                 solved = self.executor.map_cells(solve_request_task, payloads)
+            # Thread each result's recompute cost into the cache so a
+            # cost-aware policy can weigh it; the solver's own recorded
+            # wall time is the honest number, with the batch's amortized
+            # dispatch wall as the fallback for solvers too fast to time.
+            shared_cost = (time.perf_counter() - start) / len(payloads)
             for key, result in zip(pending.keys(), solved):
-                self.cache.put(key, result)
+                self.cache.put(key, result, cost=result.solve_time or shared_cost)
                 cached[key] = result
                 span = dispatch_spans.get(key)
                 if span is not None:
@@ -444,7 +469,7 @@ class SolveEngine:
         result = method.synthesize_resolved(
             request.problem, request.effective, context=context
         )
-        self.cache.put(key, result)
+        self.cache.put(key, result, cost=time.perf_counter() - start)
         context.capture_weights(result.weights)
         captured = context.captured
         captured.request_fingerprint = key
@@ -475,6 +500,33 @@ class SolveEngine:
             wall_time=time.perf_counter() - start,
             served="warm" if warm is not None else "cold",
         )
+
+    def prewarm(self, request: SolveRequest) -> bool:
+        """Make a *predicted* request resident without touching hit/miss stats.
+
+        The service's background prewarmer calls this with the edit states
+        :func:`~repro.engine.policy.predict_next_deltas` expects the analyst
+        to visit next.  Cheapest win first: if the fingerprint is already in
+        memory or on disk it is promoted (stats-neutral, see
+        :meth:`ResultCache.promote`); otherwise the request is solved cold --
+        the exact ``synthesize_resolved`` path a real miss would take, so a
+        later session edit that lands on this fingerprint gets a
+        byte-identical result as an exact hit.  Returns ``True`` once the
+        entry is resident.  Speculative work is never free: the counter
+        ``prewarm_solves`` (and ``solver_invocations``) records every solve
+        spent on a prediction so operators can judge the gamble.
+        """
+        key = request.fingerprint
+        if self.cache.promote(key):
+            return True
+        start = time.perf_counter()
+        method = get_method(request.method)
+        with self._artifact_lock:
+            self.solver_invocations += 1
+            self.prewarm_solves += 1
+        result = method.synthesize_resolved(request.problem, request.effective)
+        self.cache.put(key, result, cost=time.perf_counter() - start)
+        return True
 
     def solve_delta(
         self,
@@ -568,6 +620,8 @@ class SolveEngine:
             "backend": self.executor.name,
             "max_workers": self.executor.max_workers,
             "solver_invocations": self.solver_invocations,
+            "prewarm_solves": self.prewarm_solves,
+            "cache_policy": self.cache.policy_name,
             "executor": self.executor.stats.as_dict(),
             "cache": self.cache.stats.as_dict(),
             "incremental": self.incremental_stats.as_dict(),

@@ -46,6 +46,7 @@ from repro.obs.profile import (
     WorkloadRecorder,
     replay_profile,
     simulate_lru,
+    simulate_policy,
 )
 from repro.obs.trace import (
     NOOP_SPAN,
@@ -97,6 +98,7 @@ __all__ = [
     "WorkloadProfile",
     "replay_profile",
     "simulate_lru",
+    "simulate_policy",
 ]
 
 

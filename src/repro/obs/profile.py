@@ -31,6 +31,7 @@ __all__ = [
     "WorkloadProfile",
     "replay_profile",
     "simulate_lru",
+    "simulate_policy",
 ]
 
 
@@ -322,4 +323,47 @@ def simulate_lru(profile: WorkloadProfile, capacity: int) -> list[bool]:
         entries.move_to_end(record.fingerprint)
         while len(entries) > capacity:
             entries.popitem(last=False)
+    return flags
+
+
+def simulate_policy(
+    profile: WorkloadProfile, capacity: int, policy="cost", **options
+) -> list[bool]:
+    """Policy-driven cache simulation over the recorded fingerprint stream.
+
+    The pluggable-policy counterpart of :func:`simulate_lru`: the simulated
+    cache runs the same access/store/evict protocol as
+    :class:`~repro.engine.cache.ResultCache` under ``policy`` (a registered
+    name or a :class:`~repro.engine.policy.CachePolicy` instance, with
+    ``options`` forwarded to its constructor), feeding each record's
+    recorded recompute ``cost`` into the policy on insert.  ``"lru"`` falls
+    back to :func:`simulate_lru`, so a capacity sweep can compare policies
+    over one code path.  No solver runs -- this is how an operator sizes
+    and picks a policy *from a recorded profile* before flipping the
+    serving flag.
+    """
+    # Imported lazily: the engine package imports repro.obs.trace, so a
+    # module-level import here would be circular.
+    from repro.engine.policy import make_policy
+
+    resolved = make_policy(policy, **options)
+    if resolved is None:
+        return simulate_lru(profile, capacity)
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    entries: OrderedDict[str, None] = OrderedDict()
+    flags = []
+    for record in profile:
+        hit = record.fingerprint in entries
+        flags.append(hit)
+        if hit:
+            entries.move_to_end(record.fingerprint)
+            resolved.on_access(record.fingerprint)
+            continue
+        entries[record.fingerprint] = None
+        resolved.on_store(record.fingerprint, max(record.cost, 0.0))
+        while len(entries) > capacity:
+            victim = resolved.victim(entries)
+            entries.pop(victim)
+            resolved.forget(victim)
     return flags

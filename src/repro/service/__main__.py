@@ -131,6 +131,9 @@ def server_options(args: argparse.Namespace) -> QueryServerOptions:
         max_batch=args.max_batch,
         cache_dir=args.cache_dir,
         allowed_methods=args.allowed_methods,
+        cache_policy=args.cache_policy,
+        prewarm=args.prewarm,
+        hot_set_path=args.hot_set,
     )
 
 
@@ -210,6 +213,9 @@ async def run_session_demo(args: argparse.Namespace) -> tuple[QueryServer, list]
         max_workers=args.executor_workers,
         cache_dir=args.cache_dir,
         allowed_methods=args.allowed_methods,
+        cache_policy=args.cache_policy,
+        prewarm=args.prewarm,
+        hot_set_path=args.hot_set,
     )
     server = QueryServer(options=options, obs=args.obs)
     steps = []
@@ -311,6 +317,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--cache-dir", default=None,
                         help="optional on-disk result cache directory")
+    parser.add_argument("--cache-policy", default="lru",
+                        choices=("lru", "cost"),
+                        help="result-cache eviction policy: plain recency "
+                        "LRU, or cost x frequency scoring (default: lru)")
+    parser.add_argument("--prewarm", action="store_true",
+                        help="speculatively solve predicted next session "
+                        "edits at idle priority (session path)")
+    parser.add_argument("--hot-set", default=None, metavar="PATH",
+                        help="persist the cache's scored hot set to PATH on "
+                        "drain/stop and promote it back on startup "
+                        "(pairs with --cache-dir)")
     parser.add_argument("--cell-size", type=float, default=0.1)
     parser.add_argument("--max-iterations", type=int, default=10)
     parser.add_argument("--node-limit", type=int, default=300)

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.delta import deltas_from_dicts
 from repro.core.problem import RankingProblem
 from repro.engine.engine import SolveEngine, SolveOutcome, SolveRequest
+from repro.engine.policy import predict_next_deltas
 from repro.obs import Observability
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.trace import NOOP_SPAN, run_in_context
@@ -81,6 +82,19 @@ class QueryServerOptions:
         max_sessions: Stateful edit sessions kept alive concurrently; the
             least recently used session is evicted when the cap is hit (its
             exported delta chain can still be resumed later).
+        cache_policy: Eviction policy of the owned engine's cache: ``"lru"``
+            (the default recency LRU) or ``"cost"`` (recompute-cost x
+            hit-frequency scoring).  Answer-neutral either way.
+        prewarm: Enable the background prewarmer: after each session solve,
+            predict the analyst's likely next edits from the observed
+            delta-kind frequencies and solve them at idle priority, so the
+            real edit lands as an exact cache hit.
+        prewarm_candidates: Predicted next states solved per session solve.
+        hot_set_path: JSON file for hot-set persistence: the resident cache
+            set (plus policy scores) is saved on :meth:`drain`/:meth:`stop`
+            and promoted back from the disk tier on :meth:`start`, so a
+            restart recovers its hit rate without cold traffic.  Requires
+            ``cache_dir`` to be useful (promotion reads the disk tier).
     """
 
     backend: str = "serial"
@@ -92,6 +106,10 @@ class QueryServerOptions:
     history_limit: int = 10000
     allowed_methods: tuple[str, ...] | None = None
     max_sessions: int = 32
+    cache_policy: str = "lru"
+    prewarm: bool = False
+    prewarm_candidates: int = 2
+    hot_set_path: str | None = None
 
 
 @dataclass
@@ -217,6 +235,7 @@ class ServiceStats:
     sessions_open: int = 0
     sessions_opened: int = 0
     sessions_evicted: int = 0
+    prewarmed: int = 0
     incremental: dict = field(default_factory=dict)
 
     def describe(self) -> str:
@@ -276,6 +295,7 @@ class QueryServer:
             max_workers=self.options.max_workers,
             cache_capacity=self.options.cache_capacity,
             cache_dir=self.options.cache_dir,
+            cache_policy=self.options.cache_policy,
         )
         self._owns_obs = False
         if obs is not None:
@@ -304,6 +324,13 @@ class QueryServer:
         self._sessions_opened = 0
         self._sessions_evicted = 0
         self._session_tasks: set[asyncio.Task] = set()
+        self._prewarm_tasks: set[asyncio.Task] = set()
+        self._prewarmed = 0
+        self._hot_set_loaded = 0
+        # Edit-kind frequencies across every session on this server: the
+        # prewarmer's (tiny) workload model, fed by the same delta stream
+        # the profile recorder sees.
+        self._delta_kind_counts: dict[str, int] = {}
         self._records: deque[RequestRecord] = deque(
             maxlen=max(self.options.history_limit, 1)
         )
@@ -361,6 +388,16 @@ class QueryServer:
             "repro_service_sessions_evicted_total": (
                 "counter", "Sessions LRU-evicted", self._sessions_evicted,
             ),
+            "repro_service_prewarmed_total": (
+                "counter",
+                "Predicted next states made cache-resident by the prewarmer",
+                self._prewarmed,
+            ),
+            "repro_service_hot_set_loaded": (
+                "gauge",
+                "Hot-set entries promoted from disk at startup",
+                self._hot_set_loaded,
+            ),
         }
 
     def export_metrics_prometheus(self) -> str:
@@ -374,13 +411,20 @@ class QueryServer:
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> "QueryServer":
-        """Start the batching loop (idempotent)."""
+        """Start the batching loop (idempotent); reload the saved hot set."""
         if self._loop_task is None:
             self._queue = asyncio.Queue()
             self._closing = False
             self._loop_task = asyncio.get_running_loop().create_task(
                 self._batch_loop()
             )
+            if self.options.hot_set_path:
+                # Promote the previous run's scored hot set from the disk
+                # tier back into memory (stats-neutral), so the first
+                # requests after a restart hit instead of resolving.
+                self._hot_set_loaded = self.engine.cache.load_hot_set(
+                    self.options.hot_set_path
+                )
         return self
 
     async def drain(self) -> None:
@@ -395,7 +439,11 @@ class QueryServer:
         emitting post-run reports.
         """
         while True:
-            waiters = list(self._inflight.values()) + list(self._session_tasks)
+            waiters = (
+                list(self._inflight.values())
+                + list(self._session_tasks)
+                + list(self._prewarm_tasks)
+            )
             queue_busy = self._queue is not None and not self._queue.empty()
             if not waiters and not queue_busy:
                 break
@@ -407,6 +455,8 @@ class QueryServer:
                 await asyncio.sleep(0)
         if self.obs.profile is not None:
             self.obs.profile.flush()
+        if self.options.hot_set_path:
+            self.engine.cache.save_hot_set(self.options.hot_set_path)
 
     def _fail_inflight(self, error: BaseException) -> None:
         """Resolve every pending waiter with ``error`` (never silently drop)."""
@@ -446,11 +496,18 @@ class QueryServer:
             # queue); anything already submitted is still answered.
             await asyncio.gather(*self._session_tasks, return_exceptions=True)
             self._session_tasks.clear()
+        if self._prewarm_tasks:
+            # Speculative work already dispatched finishes (its results
+            # still land in the shared cache tier for the next process).
+            await asyncio.gather(*self._prewarm_tasks, return_exceptions=True)
+            self._prewarm_tasks.clear()
         # Nothing should be pending at this point; if the loop died early,
         # waiters get a loud error instead of hanging forever.
         self._fail_inflight(RuntimeError("QueryServer stopped"))
         if self.obs.profile is not None:
             self.obs.profile.flush()
+        if self.options.hot_set_path:
+            self.engine.cache.save_hot_set(self.options.hot_set_path)
         if self._owns_obs:
             self.obs.close()
         if self._owns_engine:
@@ -714,6 +771,8 @@ class QueryServer:
             self._started_at = arrived
 
         delta_kinds = tuple(delta.kind for delta in parsed)
+        for kind in delta_kinds:
+            self._delta_kind_counts[kind] = self._delta_kind_counts.get(kind, 0) + 1
         with self._request_span(
             "service.request",
             request_id=request_id,
@@ -766,7 +825,75 @@ class QueryServer:
                     served=outcome.served,
                     latency=response.latency,
                 )
+            # Schedule AFTER the live solve resolved: the prewarmer only
+            # ever spends cycles the request path is done with.
+            self._maybe_schedule_prewarm(session)
             return response
+
+    # -- background prewarming ------------------------------------------------
+
+    def _maybe_schedule_prewarm(self, session: ServerSession) -> None:
+        """Queue speculative solves for the session's likely next edits."""
+        if not self.options.prewarm or self._closing:
+            return
+        candidates = predict_next_deltas(
+            session.problem,
+            self._delta_kind_counts,
+            limit=max(self.options.prewarm_candidates, 0),
+        )
+        if not candidates:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._prewarm_worker(
+                session.problem,
+                session.method,
+                dict(session.params),
+                candidates,
+            )
+        )
+        self._prewarm_tasks.add(task)
+        task.add_done_callback(self._prewarm_tasks.discard)
+
+    async def _prewarm_worker(self, head, method, params, candidates) -> None:
+        """Solve predicted next states at idle priority.
+
+        Idle priority means: yield to the event loop between candidates,
+        defer while live queries are queued, and skip any state already in
+        flight (a real request beat the prediction to it).  Prewarmed
+        results go through :meth:`SolveEngine.prewarm` -- the same cold
+        solve path a real miss would take, inserted stats-neutrally -- so a
+        later session edit that lands on a prewarmed fingerprint is a
+        byte-identical exact hit.
+        """
+        loop = asyncio.get_running_loop()
+        for deltas, _kind in candidates:
+            if self._closing:
+                return
+            # Defer to foreground traffic: drain the query queue first.
+            while (
+                self._queue is not None
+                and not self._queue.empty()
+                and not self._closing
+            ):
+                await asyncio.sleep(0.001)
+            await asyncio.sleep(0)
+            try:
+                child = head.apply_delta(list(deltas))
+                request = SolveRequest(child, method, dict(params))
+            except Exception:
+                # Predictions are best-effort; an edit the head cannot take
+                # (e.g. no unranked tuples left) is simply skipped.
+                continue
+            if request.fingerprint in self._inflight:
+                continue
+            try:
+                resident = await loop.run_in_executor(
+                    None, self.engine.prewarm, request
+                )
+            except Exception:  # pragma: no cover - defensive
+                continue
+            if resident:
+                self._prewarmed += 1
 
     async def _run_session_solve(
         self,
@@ -948,10 +1075,15 @@ class QueryServer:
         configured) into this server's LRU so a near-future request for the
         same fingerprint is a memory hit.  The cluster router's hot-key
         gossip calls this on the non-owning shards of a hot fingerprint.
-        Counts as a normal cache lookup in the stats.  Returns whether the
-        entry is now resident.
+
+        The promotion is **stats-neutral** (``promotions`` counter, never
+        hits/misses): gossip volume scales with the cluster topology, not
+        with the query stream, so routing it through ``cache.get`` would
+        inflate the hit-rate signal the adaptive policy (and any operator
+        reading the dashboards) depends on.  Returns whether the entry is
+        now resident.
         """
-        return self.engine.cache.get(fingerprint) is not None
+        return self.engine.cache.promote(fingerprint)
 
     # -- telemetry ------------------------------------------------------------
 
@@ -976,6 +1108,7 @@ class QueryServer:
                 sessions_open=len(self._sessions),
                 sessions_opened=self._sessions_opened,
                 sessions_evicted=self._sessions_evicted,
+                prewarmed=self._prewarmed,
                 incremental=self.engine.incremental_stats.as_dict(),
             )
         hist = self._latency_hist
@@ -1002,5 +1135,6 @@ class QueryServer:
             sessions_open=len(self._sessions),
             sessions_opened=self._sessions_opened,
             sessions_evicted=self._sessions_evicted,
+            prewarmed=self._prewarmed,
             incremental=self.engine.incremental_stats.as_dict(),
         )

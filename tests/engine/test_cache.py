@@ -122,3 +122,52 @@ def test_clear_and_validation(tmp_path):
     cache.clear(disk=True)
     assert len(cache) == 0
     assert not list(tmp_path.glob("*.json"))
+
+
+def test_get_sees_entry_raced_in_during_disk_probe():
+    """Regression: get() used to drop the lock for the disk probe and then
+    record a miss (returning None) even when a concurrent put() had landed
+    the entry in memory during that window."""
+    cache = ResultCache(capacity=4)
+    result = make_result(5)
+    original = cache._load_from_disk
+
+    def racing_load(key):
+        # A writer completes a put() while the reader is off-lock probing
+        # the (absent) disk tier.
+        cache.put(key, result)
+        return original(key)
+
+    cache._load_from_disk = racing_load
+    got = cache.get("raced")
+    assert got is not None and got.error == 5
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 0
+
+
+def test_promote_is_stats_neutral(tmp_path):
+    cache = ResultCache(capacity=4, disk_path=tmp_path)
+    cache.put("a", make_result(1))
+
+    restarted = ResultCache(capacity=4, disk_path=tmp_path)
+    assert restarted.promote("a") is True
+    assert "a" in restarted
+    assert restarted.stats.promotions == 1
+    assert restarted.stats.hits == 0 and restarted.stats.misses == 0
+    # Promoting an already-resident key reports residency without counting.
+    assert restarted.promote("a") is True
+    assert restarted.stats.promotions == 1
+    # Unknown keys are not fabricated -- and still not counted as misses.
+    assert restarted.promote("nope") is False
+    assert restarted.stats.hits == 0 and restarted.stats.misses == 0
+    # The promoted entry serves real lookups as an ordinary memory hit.
+    hit = restarted.get("a")
+    assert hit is not None and hit.error == 1
+    assert restarted.stats.hits == 1 and restarted.stats.disk_hits == 0
+
+
+def test_promote_without_disk_tier_is_a_noop():
+    cache = ResultCache(capacity=4)
+    assert cache.promote("anything") is False
+    assert cache.stats.promotions == 0
+    assert cache.stats.hits == 0 and cache.stats.misses == 0

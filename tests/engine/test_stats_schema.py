@@ -25,12 +25,22 @@ TOP_LEVEL = {
     "backend": str,
     "max_workers": int,
     "solver_invocations": int,
+    "prewarm_solves": int,
+    "cache_policy": str,
     "executor": dict,
     "cache": dict,
     "incremental": dict,
 }
 EXECUTOR_KEYS = {"tasks", "batches"}
-CACHE_KEYS = {"hits", "misses", "stores", "evictions", "disk_hits", "hit_rate"}
+CACHE_KEYS = {
+    "hits",
+    "misses",
+    "stores",
+    "evictions",
+    "disk_hits",
+    "promotions",
+    "hit_rate",
+}
 INCREMENTAL_KEYS = {"exact_hits", "parent_hits", "cold_solves"}
 
 

@@ -1,0 +1,163 @@
+"""Background prewarming, hot-set persistence, and stat-neutral prefetch."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core.delta import ToleranceDelta
+from repro.core.problem import RankingProblem
+from repro.core.ranking import Ranking
+from repro.data.relation import Relation
+from repro.engine.engine import SolveRequest
+from repro.loadgen.report import answer_digest
+from repro.service.server import QueryServer, QueryServerOptions
+
+FAST = {
+    "cell_size": 0.25,
+    "max_iterations": 4,
+    "solver_options": {"node_limit": 40, "verify": False, "warm_start_strategy": "none"},
+}
+
+
+def make_problem(seed: int = 3, n: int = 12) -> RankingProblem:
+    rng = np.random.default_rng(seed)
+    relation = Relation.from_matrix(rng.uniform(size=(n, 3)))
+    scores = relation.matrix() @ np.array([0.5, 0.3, 0.2])
+    order = np.argsort(-scores)[:4]
+    return RankingProblem(relation, Ranking.from_ordered_indices(order, n))
+
+
+def tighten(problem: RankingProblem) -> dict:
+    t = problem.tolerances
+    return ToleranceDelta(
+        tie_eps=t.tie_eps / 2, eps1=t.eps1 / 2, eps2=t.eps2 / 2
+    ).to_dict()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_prewarmer_turns_the_next_edit_into_an_exact_hit(tmp_path):
+    async def scenario():
+        problem = make_problem()
+        options = QueryServerOptions(
+            cache_policy="cost",
+            prewarm=True,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        async with QueryServer(options=options) as server:
+            session_id = await server.open_session(problem, "symgd", FAST)
+            base = await server.submit_session(session_id)
+            assert base.outcome.served == "cold"
+            # Drain waits for the background prewarm tasks, so by the time
+            # the analyst's tighten-tolerance edit arrives the predicted
+            # child state is already cache-resident.
+            await server.drain()
+            stats = server.stats()
+            assert stats.prewarmed >= 1
+            edited = await server.submit_session(
+                session_id, deltas=[tighten(problem)]
+            )
+            assert edited.outcome.served == "exact"
+            return answer_digest(edited.result)
+
+    async def cold_reference():
+        problem = make_problem()
+        async with QueryServer(options=QueryServerOptions()) as server:
+            session_id = await server.open_session(problem, "symgd", FAST)
+            await server.submit_session(session_id)
+            edited = await server.submit_session(
+                session_id, deltas=[tighten(problem)]
+            )
+            assert edited.outcome.served in ("cold", "warm")
+            return answer_digest(edited.result)
+
+    # Parity bar: the prewarmed answer is bitwise-identical to the answer a
+    # cold server computes for the same edit.
+    assert run(scenario()) == run(cold_reference())
+
+
+def test_prewarm_off_by_default_schedules_nothing():
+    async def scenario():
+        problem = make_problem()
+        async with QueryServer(options=QueryServerOptions()) as server:
+            session_id = await server.open_session(problem, "symgd", FAST)
+            await server.submit_session(session_id)
+            await server.drain()
+            assert server.stats().prewarmed == 0
+            assert server.engine.stats()["prewarm_solves"] == 0
+
+    run(scenario())
+
+
+def test_hot_set_survives_a_restart(tmp_path):
+    hot_path = tmp_path / "hot.json"
+
+    async def first_run():
+        problem = make_problem()
+        options = QueryServerOptions(
+            cache_policy="cost",
+            cache_dir=str(tmp_path / "cache"),
+            hot_set_path=str(hot_path),
+        )
+        async with QueryServer(options=options) as server:
+            session_id = await server.open_session(problem, "symgd", FAST)
+            response = await server.submit_session(session_id)
+            assert response.outcome.served == "cold"
+            return answer_digest(response.result)
+
+    async def second_run():
+        problem = make_problem()
+        options = QueryServerOptions(
+            cache_policy="cost",
+            cache_dir=str(tmp_path / "cache"),
+            hot_set_path=str(hot_path),
+        )
+        async with QueryServer(options=options) as server:
+            # stop() on the first server saved the scored hot set; startup
+            # promoted it back into memory without touching hit/miss stats.
+            assert server._hot_set_loaded >= 1
+            assert server.engine.cache.stats.promotions >= 1
+            assert server.engine.cache.stats.hits == 0
+            session_id = await server.open_session(problem, "symgd", FAST)
+            response = await server.submit_session(session_id)
+            assert response.outcome.cache_hit
+            return answer_digest(response.result)
+
+    digest_cold = run(first_run())
+    assert hot_path.exists()
+    assert run(second_run()) == digest_cold
+
+
+def test_server_prefetch_is_stats_neutral(tmp_path):
+    async def scenario():
+        problem = make_problem()
+        cache_dir = str(tmp_path / "cache")
+        fingerprint = SolveRequest(problem, "symgd", dict(FAST)).fingerprint
+        # Populate the shared disk tier from one server...
+        async with QueryServer(
+            options=QueryServerOptions(cache_dir=cache_dir)
+        ) as warmer:
+            await warmer.submit(problem, "symgd", FAST)
+
+        # ...then gossip-prefetch it on a peer: the promotion must not
+        # pollute the hit/miss signal adaptive policies learn from.
+        async with QueryServer(
+            options=QueryServerOptions(cache_dir=cache_dir)
+        ) as peer:
+            assert peer.prefetch(fingerprint) is True
+            cache = peer.engine.cache.stats
+            assert cache.promotions == 1
+            assert cache.hits == 0 and cache.misses == 0
+            # The promoted entry now serves from memory as a real hit.
+            response = await peer.submit(problem, "symgd", FAST)
+            assert response.outcome.cache_hit
+            assert peer.engine.cache.stats.hits >= 1
+            # Unknown fingerprints stay un-promoted and uncounted.
+            assert peer.prefetch("0" * 64) is False
+            assert peer.engine.cache.stats.promotions == 1
+
+    run(scenario())
