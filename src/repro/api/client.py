@@ -20,6 +20,7 @@ Quick start::
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -27,6 +28,7 @@ from repro.api.registry import GLOBAL_REGISTRY, method_capabilities
 from repro.api.request import SynthesisRequest
 from repro.core.problem import RankingProblem
 from repro.engine.engine import SolveEngine, SolveOutcome
+from repro.service.retry import RetryPolicy
 
 __all__ = ["RankHowClient"]
 
@@ -69,12 +71,20 @@ class RankHowClient:
         request: SynthesisRequest | RankingProblem,
         method: str | None = None,
         options: dict | None = None,
+        retry: RetryPolicy | None = None,
     ) -> SolveOutcome:
         """Solve one request (cache-aware) and report how it was served.
 
         Accepts either a prepared :class:`SynthesisRequest` or a bare
         problem plus ``method`` (default ``"symgd"``) / ``options`` (a wire
         dict or an options dataclass -- anything the request accepts).
+
+        With a :class:`~repro.service.RetryPolicy`, transient failures
+        (anything carrying a truthy ``retryable`` attribute -- injected
+        chaos faults, busy/crashed shards when the engine fronts a remote
+        tier) are retried with seeded exponential backoff, keyed by the
+        request fingerprint so repeated runs back off identically.
+        Non-retryable errors and budget exhaustion re-raise.
         """
         if isinstance(request, RankingProblem):
             request = SynthesisRequest(
@@ -88,7 +98,17 @@ class RankHowClient:
                 "pass method/options either inside the SynthesisRequest or "
                 "with a bare problem, not both"
             )
-        return self.synthesize_many([request])[0]
+        if retry is None:
+            return self.synthesize_many([request])[0]
+        attempt = 0
+        while True:
+            try:
+                return self.synthesize_many([request])[0]
+            except Exception as error:
+                if not retry.retryable(error) or attempt >= retry.max_retries:
+                    raise
+                time.sleep(retry.backoff(attempt, key=(request.fingerprint,)))
+                attempt += 1
 
     def synthesize_many(
         self, requests: Sequence[SynthesisRequest]

@@ -1,0 +1,28 @@
+"""Deterministic seeded fault injection for the serving stack.
+
+Author a :class:`FaultPlan` (kill a shard at op N, delay/drop pipe
+messages, corrupt a disk-cache entry, raise inside a solver dispatch),
+hand its :class:`ChaosInjector` to a
+:class:`~repro.cluster.ClusterRouter`, and run a seeded workload: the same
+plan yields the same faults, the same recovery trace
+(:attr:`ChaosInjector.records`), and bitwise fault-free-identical answers
+-- the invariant the chaos parity tests enforce.
+"""
+
+from repro.chaos.plan import (
+    FAULT_KINDS,
+    ChaosError,
+    ChaosInjector,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosError",
+    "ChaosInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+]

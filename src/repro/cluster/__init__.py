@@ -6,8 +6,13 @@ workers (in-process or separate worker processes), pins edit sessions to
 their owning shard, sheds load once a shard's admission queue is full
 (:class:`ShardBusyError`), shares the content-addressed disk cache tier
 across shards, and aggregates per-shard health/stats/Prometheus exports
-into one cluster-wide surface.  Drive it under load with
-:mod:`repro.loadgen`.
+into one cluster-wide surface.  A supervisor loop detects dead shards
+(:class:`ShardDeadError` from the transport, or a health-probe timeout),
+restarts them with exponential backoff, replays their journaled sessions,
+and fails stateless traffic over to live shards in the meantime
+(:class:`ShardCrashedError` when nothing can serve).  Drive it under load
+with :mod:`repro.loadgen`; inject deterministic faults with
+:mod:`repro.chaos`.
 """
 
 from repro.cluster.metrics import aggregate_prometheus, aggregate_samples
@@ -17,8 +22,9 @@ from repro.cluster.router import (
     ClusterRouter,
     ClusterStats,
     ShardBusyError,
+    ShardCrashedError,
 )
-from repro.cluster.shard import InprocShard, ProcessShard, ShardError
+from repro.cluster.shard import InprocShard, ProcessShard, ShardDeadError, ShardError
 
 __all__ = [
     "ClusterOptions",
@@ -26,8 +32,10 @@ __all__ = [
     "ClusterRouter",
     "ClusterStats",
     "ShardBusyError",
+    "ShardCrashedError",
     "InprocShard",
     "ProcessShard",
+    "ShardDeadError",
     "ShardError",
     "aggregate_prometheus",
     "aggregate_samples",

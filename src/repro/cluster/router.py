@@ -27,6 +27,16 @@ The router adds the cluster-level behaviors a single server cannot provide:
 * **Graceful drain** -- :meth:`drain` waits until every admitted request on
   every shard has been answered and profile sinks are flushed;
   :meth:`stop` drains, then tears the shards down.
+* **Supervision & failover** -- a supervisor loop probes shard health on an
+  interval; a dead shard (process exit, pipe EOF, probe timeout, injected
+  crash) is restarted with exponential backoff up to ``max_restarts``
+  times, its hot set reloads from the per-shard hot-set file, and every
+  session pinned to it is replayed from the router's append-only **session
+  journal** (base + delta chain, the :meth:`ServerSession.to_dict` wire
+  format).  While the shard is down, its *stateless* query traffic fails
+  over to the next live shard -- any shard computes the same bitwise
+  answer, so failover is correctness-free -- and session traffic fails with
+  a retryable :class:`ShardCrashedError` until the replay finishes.
 * **One metrics surface** -- :meth:`export_metrics_prometheus` sums the
   per-shard expositions (:func:`repro.cluster.metrics.aggregate_prometheus`)
   and appends the router's own ``repro_cluster_*`` series; the result
@@ -40,14 +50,16 @@ import time
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 
+from repro.chaos import ChaosInjector, FaultPlan
 from repro.core.problem import RankingProblem
 from repro.engine.engine import SolveRequest
 from repro.obs.export import render_prometheus
 from repro.obs.metrics import MetricsRegistry
+from repro.service.errors import DeadlineExceededError
 from repro.service.server import QueryServerOptions, ServiceStats
 
 from repro.cluster.metrics import aggregate_prometheus
-from repro.cluster.shard import InprocShard, ProcessShard
+from repro.cluster.shard import InprocShard, ProcessShard, ShardDeadError
 
 __all__ = [
     "ClusterOptions",
@@ -55,6 +67,7 @@ __all__ = [
     "ClusterStats",
     "ClusterRouter",
     "ShardBusyError",
+    "ShardCrashedError",
 ]
 
 _ROUTE_HEX_DIGITS = 16  # leading fingerprint digits used for shard routing
@@ -68,6 +81,9 @@ class ShardBusyError(RuntimeError):
     the hint is always safe.
     """
 
+    #: Backpressure is transient by definition (see repro.service.RetryPolicy).
+    retryable = True
+
     def __init__(self, shard: int, retry_after: float) -> None:
         super().__init__(
             f"shard {shard} is at its admission limit; "
@@ -75,6 +91,33 @@ class ShardBusyError(RuntimeError):
         )
         self.shard = shard
         self.retry_after = retry_after
+
+
+class ShardCrashedError(RuntimeError):
+    """The target shard is down (and, for sessions, not failover-eligible).
+
+    Raised when a request cannot be served because its shard died:
+    session traffic while the owning shard restarts (session state lives on
+    exactly one shard, so there is nowhere to fail over to), or stateless
+    traffic when *no* live shard remains.  ``retryable`` is the supervision
+    verdict: ``True`` while a restart is pending or in progress (back off
+    ``retry_after`` seconds and reissue), ``False`` once the shard's
+    restart budget is exhausted -- the terminal state, surfaced instead of
+    retrying forever.
+    """
+
+    def __init__(
+        self, shard: int, retry_after: float, terminal: bool = False
+    ) -> None:
+        state = "permanently down" if terminal else "restarting"
+        super().__init__(
+            f"shard {shard} crashed and is {state}; "
+            + ("give up" if terminal else f"retry after {retry_after:.3f}s")
+        )
+        self.shard = shard
+        self.retry_after = retry_after
+        self.terminal = terminal
+        self.retryable = not terminal
 
 
 @dataclass(frozen=True)
@@ -109,6 +152,16 @@ class ClusterOptions:
             is suffixed ``.s<index>`` per shard so hot-set files never
             collide.
         mp_method: ``multiprocessing`` start method for process shards.
+        supervise: Run the supervisor: health probing, automatic restarts,
+            session replay.  ``False`` leaves a dead shard dead (stateless
+            traffic still fails over; sessions fail terminally).
+        health_interval: Seconds between supervisor health probe rounds.
+        health_timeout: Seconds a probe may hang before the shard is
+            declared dead (covers a live-but-wedged worker).
+        max_restarts: Restarts allowed per shard before it is terminal.
+        restart_backoff: Base restart delay; doubles per prior restart of
+            that shard (exponential backoff).
+        restart_backoff_max: Ceiling on the restart delay.
     """
 
     num_shards: int = 2
@@ -120,6 +173,12 @@ class ClusterOptions:
     cache_dir: str | None = None
     server: QueryServerOptions = field(default_factory=QueryServerOptions)
     mp_method: str = "spawn"
+    supervise: bool = True
+    health_interval: float = 0.25
+    health_timeout: float = 5.0
+    max_restarts: int = 3
+    restart_backoff: float = 0.05
+    restart_backoff_max: float = 2.0
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -133,6 +192,14 @@ class ClusterOptions:
             raise ValueError("queue_limit must be >= 1")
         if self.hot_count_limit < 1:
             raise ValueError("hot_count_limit must be >= 1")
+        if self.health_interval <= 0:
+            raise ValueError("health_interval must be > 0")
+        if self.health_timeout <= 0:
+            raise ValueError("health_timeout must be > 0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.restart_backoff < 0 or self.restart_backoff_max < 0:
+            raise ValueError("restart backoff values must be >= 0")
 
 
 @dataclass
@@ -149,6 +216,8 @@ class ClusterResponse:
     batch_size: int
     served: str | None = None
     session_id: str | None = None
+    #: True when the owning shard was down and a fallback shard answered.
+    failover: bool = False
 
 
 @dataclass
@@ -171,13 +240,19 @@ class ClusterStats:
     sessions_pinned: int
     gossip_prefetches: int
     hot_keys_tracked: int = 0
+    restarts: list = field(default_factory=list)
+    failovers: list = field(default_factory=list)
+    dead: list = field(default_factory=list)
+    deadline_exceeded: int = 0
+    restart_log: list = field(default_factory=list)
 
     def describe(self) -> str:
         balance = "/".join(str(n) for n in self.routed)
         return (
             f"cluster[{self.shards}] {self.totals.describe()} | "
             f"balance={balance} pinned_sessions={self.sessions_pinned} "
-            f"gossip={self.gossip_prefetches}"
+            f"gossip={self.gossip_prefetches} "
+            f"restarts={sum(self.restarts)} failovers={sum(self.failovers)}"
         )
 
     def to_dict(self) -> dict:
@@ -192,6 +267,11 @@ class ClusterStats:
             "sessions_pinned": self.sessions_pinned,
             "gossip_prefetches": self.gossip_prefetches,
             "hot_keys_tracked": self.hot_keys_tracked,
+            "restarts": list(self.restarts),
+            "failovers": list(self.failovers),
+            "dead": list(self.dead),
+            "deadline_exceeded": self.deadline_exceeded,
+            "restart_log": [dict(entry) for entry in self.restart_log],
         }
 
 
@@ -216,7 +296,11 @@ class ClusterRouter:
             response = await cluster.submit(problem, method="symgd")
     """
 
-    def __init__(self, options: ClusterOptions | None = None) -> None:
+    def __init__(
+        self,
+        options: ClusterOptions | None = None,
+        chaos: FaultPlan | ChaosInjector | None = None,
+    ) -> None:
         self.options = options or ClusterOptions()
         server_options = self.options.server
         if self.options.cache_dir is not None:
@@ -226,6 +310,10 @@ class ClusterRouter:
                 server_options, cache_dir=self.options.cache_dir
             )
         self._server_options = server_options
+        #: Runtime fault injector (one per run); a FaultPlan is instantiated.
+        self.chaos: ChaosInjector | None = (
+            chaos.injector() if isinstance(chaos, FaultPlan) else chaos
+        )
         self.shards: list = []
         self._started = False
         self._closing = False
@@ -233,6 +321,24 @@ class ClusterRouter:
         self._peak_pending = [0] * self.options.num_shards
         self._routed = [0] * self.options.num_shards
         self._shed = [0] * self.options.num_shards
+        # Supervision state, all indexed by shard: a shard is routable iff
+        # neither dead nor terminal.  `dead` flips on at death and off when
+        # a restart completes; `terminal` is one-way (budget exhausted or
+        # supervision disabled).
+        self._dead = [False] * self.options.num_shards
+        self._terminal = [False] * self.options.num_shards
+        self._restarts = [0] * self.options.num_shards
+        self._failovers = [0] * self.options.num_shards
+        self._restart_log: list[dict] = []
+        self._restart_tasks: dict[int, asyncio.Task] = {}
+        self._supervisor_task: asyncio.Task | None = None
+        self._deadline_exceeded = 0
+        # Append-only session journal: session_id -> {base, method, params,
+        # aggressive, deltas}.  Deltas are appended only AFTER the owning
+        # shard acknowledged them, so replaying the journal on a restarted
+        # shard reconstructs exactly the state the client knows about (an
+        # op in flight at crash time fails retryably and re-applies once).
+        self._session_journal: dict[str, dict] = {}
         self._session_shard: dict[str, int] = {}
         self._session_counter = 0
         # Bounded LRU of route counts feeding the gossip trigger (see
@@ -246,6 +352,8 @@ class ClusterRouter:
         self._finished_at: float | None = None
         self.metrics = MetricsRegistry()
         self.metrics.register_collector(self._collect_metrics)
+        if self.chaos is not None:
+            self.metrics.register_collector(self.chaos.collect_metrics)
         self._latency_hist = self.metrics.histogram(
             "repro_cluster_request_latency_seconds",
             "Router-side end-to-end request latency (seconds, full run)",
@@ -253,29 +361,48 @@ class ClusterRouter:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def _build_shard(self, index: int):
+        """One shard transport, with its per-shard hot-set path resolved."""
+        shard_options = self._server_options
+        if shard_options.hot_set_path is not None:
+            from dataclasses import replace
+
+            # Per-shard hot-set files: the resident sets differ by
+            # construction (fingerprint sharding), so sharing one file
+            # would have the last-drained shard clobber the others.
+            shard_options = replace(
+                shard_options,
+                hot_set_path=f"{shard_options.hot_set_path}.s{index}",
+            )
+        if self.options.transport == "process":
+            return ProcessShard(
+                index, shard_options, mp_method=self.options.mp_method
+            )
+        return InprocShard(index, shard_options)
+
+    def _attach_chaos(self, shard) -> None:
+        """Point a (re)started shard at the run's injector.
+
+        In-process shards additionally get the executor/cache hooks wired
+        (``solver_error`` and targeted cache corruption); those hooks cannot
+        cross a process boundary, so for process shards only the transport
+        faults (kill / delay / drop) and directory-level cache corruption
+        apply.
+        """
+        shard.chaos = self.chaos
+        if self.chaos is None:
+            return
+        server = getattr(shard, "server", None)
+        if server is not None:
+            server.engine.executor.fault_hook = self.chaos.executor_hook
+            server.engine.cache.fault_hook = self.chaos.cache_read_hook
+
     async def start(self) -> "ClusterRouter":
-        """Build and start every shard (idempotent)."""
+        """Build and start every shard (idempotent); start the supervisor."""
         if self._started:
             return self
         for index in range(self.options.num_shards):
-            shard_options = self._server_options
-            if shard_options.hot_set_path is not None:
-                from dataclasses import replace
-
-                # Per-shard hot-set files: the resident sets differ by
-                # construction (fingerprint sharding), so sharing one file
-                # would have the last-drained shard clobber the others.
-                shard_options = replace(
-                    shard_options,
-                    hot_set_path=f"{shard_options.hot_set_path}.s{index}",
-                )
-            if self.options.transport == "process":
-                shard = ProcessShard(
-                    index, shard_options, mp_method=self.options.mp_method
-                )
-            else:
-                shard = InprocShard(index, shard_options)
-            self.shards.append(shard)
+            self.shards.append(self._build_shard(index))
         try:
             await asyncio.gather(*(shard.start() for shard in self.shards))
         except BaseException:
@@ -285,28 +412,241 @@ class ClusterRouter:
             )
             self.shards.clear()
             raise
+        for shard in self.shards:
+            self._attach_chaos(shard)
         self._started = True
         self._closing = False
+        if self.options.supervise:
+            self._supervisor_task = asyncio.get_running_loop().create_task(
+                self._supervise()
+            )
         return self
 
     async def drain(self) -> None:
-        """Wait until every admitted request on every shard is answered."""
+        """Wait until every admitted request on every live shard is answered.
+
+        Pending restarts are awaited first (so a shard that died mid-run is
+        back -- with its sessions replayed -- before drain returns); dead or
+        terminal shards have nothing admitted to wait for.
+        """
         if self._gossip_tasks:
             await asyncio.gather(*self._gossip_tasks, return_exceptions=True)
-        await asyncio.gather(*(shard.drain() for shard in self.shards))
+        while self._restart_tasks:
+            await asyncio.gather(
+                *list(self._restart_tasks.values()), return_exceptions=True
+            )
+        await asyncio.gather(
+            *(
+                shard.drain()
+                for index, shard in enumerate(self.shards)
+                if not self._dead[index] and not self._terminal[index]
+            )
+        )
 
     async def stop(self) -> None:
         """Graceful shutdown: drain everything, then tear the shards down."""
         if not self._started or self._closing:
             return
         self._closing = True
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            try:
+                await self._supervisor_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._supervisor_task = None
+        if self._restart_tasks:
+            # Let in-flight recoveries finish (bounded by backoff + start
+            # cost) rather than cancelling them into a half-built shard.
+            await asyncio.gather(
+                *list(self._restart_tasks.values()), return_exceptions=True
+            )
         if self._gossip_tasks:
             await asyncio.gather(*self._gossip_tasks, return_exceptions=True)
         await asyncio.gather(
-            *(shard.stop() for shard in self.shards), return_exceptions=True
+            *(
+                shard.abort() if (self._dead[i] or self._terminal[i]) else shard.stop()
+                for i, shard in enumerate(self.shards)
+            ),
+            return_exceptions=True,
         )
         self.shards.clear()
         self._started = False
+
+    # -- supervision ----------------------------------------------------------
+
+    async def _supervise(self) -> None:
+        """Probe shard health on an interval; escalate unresponsive shards.
+
+        Passive detection (a data-path call raising
+        :class:`~repro.cluster.shard.ShardDeadError`) usually wins the race;
+        this loop catches the quiet failure modes -- a shard with no traffic,
+        or a worker that is alive but wedged (probe timeout).
+        """
+        try:
+            while not self._closing:
+                await asyncio.sleep(self.options.health_interval)
+                for index, shard in enumerate(self.shards):
+                    if self._closing:
+                        return
+                    if (
+                        self._dead[index]
+                        or self._terminal[index]
+                        or index in self._restart_tasks
+                    ):
+                        continue
+                    try:
+                        await asyncio.wait_for(
+                            shard.health(), timeout=self.options.health_timeout
+                        )
+                    except (ShardDeadError, asyncio.TimeoutError):
+                        self._note_shard_death(index)
+                    except Exception:
+                        # App-level probe noise is not death; a worker-side
+                        # error rebuilt as a plain ShardError must not kill
+                        # a healthy shard.
+                        continue
+        except asyncio.CancelledError:
+            raise
+
+    def _note_shard_death(self, index: int) -> None:
+        """Mark a shard dead and kick off its recovery task (once)."""
+        if self._dead[index] or self._terminal[index]:
+            return
+        self._dead[index] = True
+        if self._closing:
+            return  # stop() aborts dead shards; no recovery mid-shutdown
+        task = asyncio.get_running_loop().create_task(
+            self._recover_shard(index)
+        )
+        self._restart_tasks[index] = task
+        task.add_done_callback(
+            lambda _task, i=index: self._restart_tasks.pop(i, None)
+        )
+
+    async def _recover_shard(self, index: int) -> None:
+        """Abort the dead shard, then restart it (budget and backoff allowing).
+
+        A successful restart reloads the shard's persisted hot set (the
+        fresh server's :meth:`start` promotes it from the shared disk tier)
+        and replays every journaled session pinned to the shard, so pinned
+        clients resume after a retryable error window instead of losing
+        state.
+        """
+        started = time.perf_counter()
+        old = self.shards[index]
+        try:
+            await old.abort()
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        if (
+            not self.options.supervise
+            or self._restarts[index] >= self.options.max_restarts
+        ):
+            self._terminal[index] = True
+            return
+        backoff = min(
+            self.options.restart_backoff * (2 ** self._restarts[index]),
+            self.options.restart_backoff_max,
+        )
+        self._restarts[index] += 1
+        if backoff > 0:
+            await asyncio.sleep(backoff)
+        if self._closing:
+            return
+        shard = self._build_shard(index)
+        try:
+            await shard.start()
+        except Exception:
+            self._terminal[index] = True
+            try:
+                await shard.stop()
+            except Exception:  # pragma: no cover - defensive teardown
+                pass
+            return
+        self._attach_chaos(shard)
+        self.shards[index] = shard
+        replayed = 0
+        for session_id, journal in list(self._session_journal.items()):
+            if self._session_shard.get(session_id) != index:
+                continue
+            try:
+                await shard.resume_session(
+                    self._journal_payload(session_id, journal),
+                    session_id=session_id,
+                )
+                replayed += 1
+            except Exception:  # pragma: no cover - replay is best-effort
+                pass
+        self._dead[index] = False
+        self._restart_log.append(
+            {
+                "shard": index,
+                "restart": self._restarts[index],
+                "backoff": backoff,
+                "duration": time.perf_counter() - started,
+                "sessions_replayed": replayed,
+            }
+        )
+
+    @staticmethod
+    def _journal_payload(session_id: str, journal: dict) -> dict:
+        """The ServerSession.to_dict wire form, rebuilt from the journal."""
+        return {
+            "session_id": session_id,
+            "base": journal["base"],
+            "deltas": list(journal["deltas"]),
+            "method": journal["method"],
+            "params": dict(journal["params"]),
+            "aggressive": journal["aggressive"],
+        }
+
+    def _routable(self, index: int) -> bool:
+        return not self._dead[index] and not self._terminal[index]
+
+    def _pick_live_shard(self, owner: int, exclude=frozenset()) -> int | None:
+        """The owner if routable, else the next live shard ring-wise."""
+        n = self.options.num_shards
+        for offset in range(n):
+            index = (owner + offset) % n
+            if index in exclude or not self._routable(index):
+                continue
+            return index
+        return None
+
+    async def _chaos_step(self) -> None:
+        """Advance the fault plan one op; execute router-level faults."""
+        if self.chaos is None:
+            return
+        for fault in self.chaos.step():
+            if fault.kind == "kill_shard":
+                index = fault.shard
+                if index is None or not (0 <= index < len(self.shards)):
+                    continue
+                kill = getattr(self.shards[index], "inject_kill", None)
+                if kill is not None:
+                    kill()
+                self.chaos.record("kill_shard", shard=index)
+                # Don't wait for a probe or an unlucky caller: the router
+                # just killed it, so start recovery immediately.
+                self._note_shard_death(index)
+            elif fault.kind == "corrupt_cache":
+                cache_dir = self.options.cache_dir
+                if cache_dir is None:
+                    self.chaos.record(
+                        "corrupt_cache", detail="no shared cache_dir"
+                    )
+                    continue
+                self.chaos.corrupt_cache_entry(cache_dir)
+
+    def _check_deadline(self, deadline: float | None) -> None:
+        """Shed a request whose deadline is already spent at the router."""
+        if deadline is not None and deadline <= 0:
+            self._deadline_exceeded += 1
+            raise DeadlineExceededError(
+                f"deadline expired before dispatch ({deadline:.4f}s left)",
+                remaining=deadline,
+            )
 
     async def __aenter__(self) -> "ClusterRouter":
         return await self.start()
@@ -395,33 +735,70 @@ class ClusterRouter:
         method: str = "symgd",
         params: dict | None = None,
         request_id: str | None = None,
+        deadline: float | None = None,
     ) -> ClusterResponse:
         """Route one query to its owning shard and await the response.
 
         Raises :class:`ShardBusyError` (without enqueueing anything) when
-        the owning shard is at its admission limit.
+        the target shard is at its admission limit, and
+        :class:`DeadlineExceededError` when ``deadline`` (a relative budget
+        in seconds) is already spent -- both before anything is enqueued.
+
+        When the owning shard is down, the query **fails over** to the next
+        live shard: routing only concentrates cache locality, so any shard
+        computes the bitwise-identical answer (the response's ``failover``
+        flag and the ``repro_cluster_failovers_total`` metric record the
+        detour).  A shard dying mid-call surfaces as a retry against the
+        next live shard; with no live shard left, a
+        :class:`ShardCrashedError` is raised.
         """
         self._require_running()
+        await self._chaos_step()
+        self._check_deadline(deadline)
         # Build the request up front: validates method/options and yields
         # the content-addressed fingerprint that picks the shard.
         fingerprint = SolveRequest(problem, method, dict(params or {})).fingerprint
-        shard_index = self.shard_for(fingerprint)
-        self._admit(shard_index)
+        owner = self.shard_for(fingerprint)
         self._request_counter += 1
         if request_id is None:
             request_id = f"c{self._request_counter}"
         arrived = self._stamp_request()
-        try:
-            payload = await self.shards[shard_index].submit(
-                problem, method, params, request_id=request_id
-            )
-        finally:
-            self._release(shard_index)
+        tried: set[int] = set()
+        while True:
+            target = self._pick_live_shard(owner, exclude=tried)
+            if target is None:
+                raise ShardCrashedError(
+                    owner,
+                    self.options.retry_after,
+                    terminal=all(
+                        self._terminal[i]
+                        for i in range(self.options.num_shards)
+                    ),
+                )
+            self._admit(target)
+            try:
+                payload = await self.shards[target].submit(
+                    problem, method, params,
+                    request_id=request_id, deadline=deadline,
+                )
+            except ShardDeadError:
+                # The shard died under this call; mark it (starting its
+                # recovery) and retry on the next live shard.  The request
+                # never started solving -- reissuing it cannot double-work
+                # thanks to coalescing/caching being content-addressed.
+                self._note_shard_death(target)
+                tried.add(target)
+                continue
+            finally:
+                self._release(target)
+            break
+        if target != owner:
+            self._failovers[owner] += 1
         latency = self._observe(arrived)
-        self._note_routed(shard_index, fingerprint)
+        self._note_routed(target, fingerprint)
         return ClusterResponse(
             request_id=request_id,
-            shard=shard_index,
+            shard=target,
             result=payload["result"],
             fingerprint=payload["fingerprint"],
             cache_hit=payload["cache_hit"],
@@ -429,6 +806,7 @@ class ClusterRouter:
             latency=latency,
             batch_size=payload["batch_size"],
             served=payload["served"],
+            failover=target != owner,
         )
 
     # -- pinned sessions ------------------------------------------------------
@@ -449,6 +827,27 @@ class ClusterRouter:
         self._session_shard[session_id] = shard_index
         return session_id
 
+    def _session_crash(self, shard_index: int) -> ShardCrashedError:
+        return ShardCrashedError(
+            shard_index,
+            self.options.retry_after,
+            terminal=self._terminal[shard_index],
+        )
+
+    def _require_session_shard(self, session_id: str) -> int:
+        """The session's pinned shard, raising while it is down.
+
+        Session state lives on exactly one shard, so there is no failover:
+        while the shard restarts the caller gets a *retryable*
+        :class:`ShardCrashedError` (the journal replay restores the session
+        before the restart completes), turning terminal only when the
+        restart budget is spent.
+        """
+        shard_index = self.session_shard(session_id)
+        if not self._routable(shard_index):
+            raise self._session_crash(shard_index)
+        return shard_index
+
     async def open_session(
         self,
         problem: RankingProblem,
@@ -462,17 +861,32 @@ class ClusterRouter:
         pin is readable right off the id.
         """
         self._require_running()
+        await self._chaos_step()
         fingerprint = SolveRequest(problem, method, dict(params or {})).fingerprint
         shard_index = self.shard_for(fingerprint)
+        if not self._routable(shard_index):
+            raise self._session_crash(shard_index)
         session_id = self._pin_session(shard_index)
         try:
             await self.shards[shard_index].open_session(
                 problem, method, params, session_id=session_id,
                 aggressive=aggressive,
             )
-        except BaseException:
+        except BaseException as error:
             self._session_shard.pop(session_id, None)
+            if isinstance(error, ShardDeadError):
+                self._note_shard_death(shard_index)
+                raise self._session_crash(shard_index) from error
             raise
+        # Journal AFTER the shard acknowledged: the journal only ever holds
+        # state the shard (and therefore the client) has seen.
+        self._session_journal[session_id] = {
+            "base": problem.to_dict(),
+            "method": method,
+            "params": dict(params or {}),
+            "aggressive": bool(aggressive),
+            "deltas": [],
+        }
         return session_id
 
     async def submit_session(
@@ -482,6 +896,7 @@ class ClusterRouter:
         method: str | None = None,
         params: dict | None = None,
         request_id: str | None = None,
+        deadline: float | None = None,
     ) -> ClusterResponse:
         """Apply edits to a pinned session and solve its head on its shard.
 
@@ -489,10 +904,15 @@ class ClusterRouter:
         state lives on exactly one shard, so continuity wins over admission
         (the bound protects shards from stateless floods, which is also why
         this path still counts toward the shard's pending depth -- admission
-        sees session load, it just cannot reject it).
+        sees session load, it just cannot reject it).  While the shard is
+        down a retryable :class:`ShardCrashedError` is raised; the delta
+        journal appends only on success, so a retried call re-applies its
+        edits exactly once against the replayed session.
         """
         self._require_running()
-        shard_index = self.session_shard(session_id)
+        await self._chaos_step()
+        self._check_deadline(deadline)
+        shard_index = self._require_session_shard(session_id)
         self._request_counter += 1
         if request_id is None:
             request_id = f"c{self._request_counter}"
@@ -501,10 +921,19 @@ class ClusterRouter:
         try:
             payload = await self.shards[shard_index].submit_session(
                 session_id, deltas=deltas, method=method, params=params,
-                request_id=request_id,
+                request_id=request_id, deadline=deadline,
             )
+        except ShardDeadError as error:
+            self._note_shard_death(shard_index)
+            raise self._session_crash(shard_index) from error
         finally:
             self._release(shard_index)
+        journal = self._session_journal.get(session_id)
+        if journal is not None and deltas:
+            journal["deltas"].extend(
+                delta if isinstance(delta, dict) else delta.to_dict()
+                for delta in deltas
+            )
         latency = self._observe(arrived)
         self._note_routed(shard_index, payload["fingerprint"])
         return ClusterResponse(
@@ -522,9 +951,12 @@ class ClusterRouter:
 
     async def export_session(self, session_id: str) -> dict:
         self._require_running()
-        return await self.shards[self.session_shard(session_id)].export_session(
-            session_id
-        )
+        shard_index = self._require_session_shard(session_id)
+        try:
+            return await self.shards[shard_index].export_session(session_id)
+        except ShardDeadError as error:
+            self._note_shard_death(shard_index)
+            raise self._session_crash(shard_index) from error
 
     async def resume_session(self, data: dict) -> str:
         """Resume an exported session, re-pinning by its *base* fingerprint.
@@ -540,38 +972,89 @@ class ClusterRouter:
             base, method, dict(data.get("params") or {})
         ).fingerprint
         shard_index = self.shard_for(fingerprint)
+        if not self._routable(shard_index):
+            raise self._session_crash(shard_index)
         session_id = self._pin_session(shard_index)
         payload = dict(data, session_id=session_id)
         try:
             await self.shards[shard_index].resume_session(
                 payload, session_id=session_id
             )
-        except BaseException:
+        except BaseException as error:
             self._session_shard.pop(session_id, None)
+            if isinstance(error, ShardDeadError):
+                self._note_shard_death(shard_index)
+                raise self._session_crash(shard_index) from error
             raise
+        self._session_journal[session_id] = {
+            "base": data["base"],
+            "method": method,
+            "params": dict(data.get("params") or {}),
+            "aggressive": bool(data.get("aggressive", False)),
+            "deltas": list(data.get("deltas") or []),
+        }
         return session_id
 
     async def close_session(self, session_id: str) -> None:
         self._require_running()
         shard_index = self.session_shard(session_id)
-        await self.shards[shard_index].close_session(session_id)
+        if self._routable(shard_index):
+            try:
+                await self.shards[shard_index].close_session(session_id)
+            except ShardDeadError:
+                # Closing a session on a shard that just died is not an
+                # error for the caller: the state is gone either way.  The
+                # journal removal below also stops the replay from
+                # resurrecting it.
+                self._note_shard_death(shard_index)
         self._session_shard.pop(session_id, None)
+        self._session_journal.pop(session_id, None)
 
     async def session_info(self, session_id: str) -> dict:
         self._require_running()
-        info = await self.shards[self.session_shard(session_id)].session_info(
-            session_id
-        )
-        info["shard"] = self.session_shard(session_id)
+        shard_index = self._require_session_shard(session_id)
+        try:
+            info = await self.shards[shard_index].session_info(session_id)
+        except ShardDeadError as error:
+            self._note_shard_death(shard_index)
+            raise self._session_crash(shard_index) from error
+        info["shard"] = shard_index
         return info
 
     # -- health / stats / metrics ---------------------------------------------
 
     async def health(self) -> dict:
-        """Per-shard liveness payloads keyed by shard index."""
+        """Per-shard liveness payloads keyed by shard index.
+
+        Dead / terminal / unresponsive shards report ``ok: False`` with the
+        supervision state instead of failing the whole call -- this is the
+        endpoint an operator (or the supervisor's own tests) reads *during*
+        an outage.
+        """
         self._require_running()
+
+        async def probe(index: int, shard) -> dict:
+            if not self._routable(index):
+                return {
+                    "ok": False,
+                    "dead": True,
+                    "terminal": self._terminal[index],
+                    "restarts": self._restarts[index],
+                }
+            try:
+                payload = dict(
+                    await asyncio.wait_for(
+                        shard.health(), timeout=self.options.health_timeout
+                    )
+                )
+            except Exception as error:
+                return {"ok": False, "error": str(error)}
+            payload["ok"] = True
+            payload["restarts"] = self._restarts[index]
+            return payload
+
         payloads = await asyncio.gather(
-            *(shard.health() for shard in self.shards)
+            *(probe(index, shard) for index, shard in enumerate(self.shards))
         )
         return {
             "shards": self.options.num_shards,
@@ -579,11 +1062,25 @@ class ClusterRouter:
             "per_shard": {index: payload for index, payload in enumerate(payloads)},
         }
 
+    async def _shard_stats(self, index: int, shard) -> ServiceStats:
+        """One shard's stats; a dead shard contributes an empty snapshot."""
+        if not self._routable(index):
+            return ServiceStats()
+        try:
+            return await shard.stats()
+        except Exception:
+            return ServiceStats()
+
     async def stats(self) -> ClusterStats:
         """Cluster-wide :class:`ClusterStats` (totals + per-shard views)."""
         self._require_running()
         per_shard = list(
-            await asyncio.gather(*(shard.stats() for shard in self.shards))
+            await asyncio.gather(
+                *(
+                    self._shard_stats(index, shard)
+                    for index, shard in enumerate(self.shards)
+                )
+            )
         )
         hist = self._latency_hist
         requests = sum(stats.requests for stats in per_shard)
@@ -616,6 +1113,8 @@ class ClusterRouter:
                 stats.sessions_evicted for stats in per_shard
             ),
             prewarmed=sum(stats.prewarmed for stats in per_shard),
+            deadline_exceeded=self._deadline_exceeded
+            + sum(stats.deadline_exceeded for stats in per_shard),
             incremental=_sum_numeric(
                 [stats.incremental for stats in per_shard]
             ),
@@ -631,6 +1130,11 @@ class ClusterRouter:
             sessions_pinned=len(self._session_shard),
             gossip_prefetches=self._gossip_prefetches,
             hot_keys_tracked=len(self._hot_counts),
+            restarts=list(self._restarts),
+            failovers=list(self._failovers),
+            dead=[not self._routable(i) for i in range(self.options.num_shards)],
+            deadline_exceeded=totals.deadline_exceeded,
+            restart_log=[dict(entry) for entry in self._restart_log],
         )
 
     def _collect_metrics(self) -> dict:
@@ -676,6 +1180,30 @@ class ClusterRouter:
                 "Fingerprints currently tracked by the gossip hot-counter",
                 len(self._hot_counts),
             ),
+            "repro_cluster_restarts_total": (
+                "counter", "Supervisor-driven shard restarts, by shard",
+                {(str(i),): count for i, count in enumerate(self._restarts)},
+                shard_labels,
+            ),
+            "repro_cluster_failovers_total": (
+                "counter",
+                "Stateless queries served by a fallback shard, by owner shard",
+                {(str(i),): count for i, count in enumerate(self._failovers)},
+                shard_labels,
+            ),
+            "repro_cluster_shards_dead": (
+                "gauge", "Shards currently dead or terminal",
+                sum(
+                    1
+                    for i in range(self.options.num_shards)
+                    if not self._routable(i)
+                ),
+            ),
+            "repro_cluster_deadline_exceeded_total": (
+                "counter",
+                "Requests shed router-side because their deadline expired",
+                self._deadline_exceeded,
+            ),
         }
 
     async def export_metrics_prometheus(self) -> str:
@@ -686,9 +1214,13 @@ class ClusterRouter:
         disjoint, so the concatenation is a valid exposition.
         """
         self._require_running()
-        texts = list(
-            await asyncio.gather(
-                *(shard.export_metrics_prometheus() for shard in self.shards)
-            )
+        gathered = await asyncio.gather(
+            *(
+                shard.export_metrics_prometheus()
+                for index, shard in enumerate(self.shards)
+                if self._routable(index)
+            ),
+            return_exceptions=True,
         )
+        texts = [text for text in gathered if isinstance(text, str)]
         return aggregate_prometheus(texts) + render_prometheus(self.metrics)

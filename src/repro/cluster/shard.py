@@ -32,15 +32,54 @@ import os
 import threading
 from dataclasses import asdict
 
+from repro.chaos import ChaosError
 from repro.core.problem import RankingProblem
 from repro.core.result import SynthesisResult
+from repro.service.errors import DeadlineExceededError
 from repro.service.server import QueryServer, QueryServerOptions, ServiceStats
 
-__all__ = ["InprocShard", "ProcessShard", "ShardError"]
+__all__ = ["InprocShard", "ProcessShard", "ShardDeadError", "ShardError"]
 
 
 class ShardError(RuntimeError):
     """A worker-side failure that does not map onto a builtin error type."""
+
+
+class ShardDeadError(ShardError):
+    """The shard's worker is gone (process exit, pipe EOF, injected crash).
+
+    Raised parent-side only -- it is the transport's death signal, and the
+    one ``ShardError`` subtype the router treats as "mark the shard dead
+    and start the restart/failover machinery" (a worker-side application
+    error rebuilt as a plain :class:`ShardError` must *not* kill a healthy
+    shard).  Marked ``retryable``: a client that sees it raced the crash,
+    and the supervised restart makes reissuing worthwhile (the request
+    either never reached the worker or died with it -- nothing committed).
+    """
+
+    retryable = True
+
+
+async def _apply_pipe_fault(shard) -> None:
+    """Consume one armed chaos pipe fault for this shard, if any.
+
+    ``delay_pipe`` sleeps the injected latency before the call proceeds;
+    ``drop_message`` raises a retryable :class:`~repro.chaos.ChaosError`
+    without sending anything (the transport-loss stand-in: the shard never
+    saw the request, so reissuing it is safe).  Only the data paths
+    (``submit`` / ``submit_session``) consult this -- health probes and
+    stats must not eat faults armed for real traffic.
+    """
+    chaos = shard.chaos
+    if chaos is None:
+        return
+    fault = chaos.take_pipe_fault(shard.index)
+    if fault is None:
+        return
+    if fault.kind == "delay_pipe":
+        await asyncio.sleep(fault.seconds)
+    else:  # drop_message
+        raise ChaosError(f"message to shard {shard.index} dropped (injected)")
 
 
 def _query_response_payload(response) -> dict:
@@ -57,13 +96,33 @@ def _query_response_payload(response) -> dict:
 
 
 class InprocShard:
-    """A shard sharing the router's process and event loop."""
+    """A shard sharing the router's process and event loop.
+
+    Supports *simulated* crashes (:meth:`inject_kill`): the shard flips a
+    dead flag and every subsequent call raises :class:`ShardDeadError`,
+    which exercises the router's detection/restart/failover machinery
+    deterministically on a single event loop -- the 1-CPU CI analogue of a
+    worker process dying.  Work already in flight completes (the simulation
+    is not preemptive); the state loss is real, because a restart builds a
+    brand-new server.
+    """
 
     transport = "inproc"
 
     def __init__(self, index: int, options: QueryServerOptions) -> None:
         self.index = index
         self.server = QueryServer(options=options)
+        #: Optional :class:`~repro.chaos.ChaosInjector` (set by the router).
+        self.chaos = None
+        self._crashed = False
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise ShardDeadError(f"shard {self.index} crashed (injected)")
+
+    def inject_kill(self) -> None:
+        """Simulate a crash: all state is as good as lost (see class doc)."""
+        self._crashed = True
 
     async def start(self) -> None:
         await self.server.start()
@@ -71,15 +130,36 @@ class InprocShard:
     async def stop(self) -> None:
         await self.server.stop()
 
+    async def abort(self) -> None:
+        """Tear down without drain semantics (supervisor path, post-crash).
+
+        The replaced server is stopped so its engine/executor release and
+        in-flight waiters resolve; its sessions and memory cache die with
+        it, exactly like a killed process.
+        """
+        try:
+            await asyncio.wait_for(self.server.stop(), timeout=30)
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+
     async def drain(self) -> None:
+        self._check_alive()
         await self.server.drain()
 
     async def submit(
-        self, problem, method: str, params: dict | None, request_id: str | None = None
+        self,
+        problem,
+        method: str,
+        params: dict | None,
+        request_id: str | None = None,
+        deadline: float | None = None,
     ) -> dict:
+        self._check_alive()
+        await _apply_pipe_fault(self)
         response = await self.server.submit(
-            problem, method, params, request_id=request_id
+            problem, method, params, request_id=request_id, deadline=deadline
         )
+        self._check_alive()
         return _query_response_payload(response)
 
     async def open_session(
@@ -90,6 +170,7 @@ class InprocShard:
         session_id: str,
         aggressive: bool = False,
     ) -> str:
+        self._check_alive()
         return await self.server.open_session(
             problem, method, params, session_id=session_id, aggressive=aggressive
         )
@@ -101,26 +182,35 @@ class InprocShard:
         method: str | None = None,
         params: dict | None = None,
         request_id: str | None = None,
+        deadline: float | None = None,
     ) -> dict:
+        self._check_alive()
+        await _apply_pipe_fault(self)
         response = await self.server.submit_session(
             session_id, deltas=deltas, method=method, params=params,
-            request_id=request_id,
+            request_id=request_id, deadline=deadline,
         )
+        self._check_alive()
         return _query_response_payload(response)
 
     async def export_session(self, session_id: str) -> dict:
+        self._check_alive()
         return self.server.export_session(session_id)
 
     async def resume_session(self, data: dict, session_id: str) -> str:
+        self._check_alive()
         return await self.server.resume_session(data, session_id=session_id)
 
     async def close_session(self, session_id: str) -> None:
+        self._check_alive()
         self.server.close_session(session_id)
 
     async def session_info(self, session_id: str) -> dict:
+        self._check_alive()
         return self.server.session_info(session_id)
 
     async def prefetch(self, fingerprint: str) -> bool:
+        self._check_alive()
         return self.server.prefetch(fingerprint)
 
     async def stats(self) -> ServiceStats:
@@ -130,6 +220,7 @@ class InprocShard:
         return self.server.export_metrics_prometheus()
 
     async def health(self) -> dict:
+        self._check_alive()
         stats = self.server.stats()
         return {
             "pid": os.getpid(),
@@ -151,6 +242,11 @@ _REBUILDABLE_ERRORS = {
     "KeyError": KeyError,
     "RuntimeError": RuntimeError,
     "TypeError": TypeError,
+    # Typed pass-through for the fault-tolerance layer: a deadline shed or
+    # an injected chaos fault inside the worker must reach the caller as
+    # itself (both are retryable by contract), not as an opaque ShardError.
+    "DeadlineExceededError": DeadlineExceededError,
+    "ChaosError": ChaosError,
 }
 
 
@@ -170,6 +266,7 @@ async def _worker_handle(server: QueryServer, op: str, payload: dict) -> dict:
             payload["method"],
             payload.get("params"),
             request_id=payload.get("request_id"),
+            deadline=payload.get("deadline"),
         )
         reply = response.to_dict()
         reply["served"] = response.outcome.served
@@ -190,6 +287,7 @@ async def _worker_handle(server: QueryServer, op: str, payload: dict) -> dict:
             method=payload.get("method"),
             params=payload.get("params"),
             request_id=payload.get("request_id"),
+            deadline=payload.get("deadline"),
         )
         reply = response.to_dict()
         reply["served"] = response.outcome.served
@@ -316,6 +414,14 @@ class ProcessShard:
         self._pending: dict[int, asyncio.Future] = {}
         self._request_counter = 0
         self._closed = False
+        # Set by the reader thread the moment it observes worker EOF --
+        # BEFORE it schedules _fail_pending -- so a _call racing the death
+        # notification either fails fast here or registers its future in
+        # time for _fail_pending to sweep it.  Without the flag, a call
+        # issued after the sweep registered a future nobody would ever fail.
+        self._worker_dead = False
+        #: Optional :class:`~repro.chaos.ChaosInjector` (set by the router).
+        self.chaos = None
 
     async def start(self) -> None:
         ctx = multiprocessing.get_context(self._mp_method)
@@ -353,10 +459,14 @@ class ProcessShard:
                 self._loop.call_soon_threadsafe(self._resolve, *message)
             except RuntimeError:  # loop already closed during teardown
                 break
+        # Order matters: flip the flag first (plain attribute write, visible
+        # to the event-loop thread under the GIL), then sweep.  See the
+        # comment on _worker_dead in __init__.
+        self._worker_dead = True
         try:
             self._loop.call_soon_threadsafe(
                 self._fail_pending,
-                ShardError(f"shard {self.index} worker exited"),
+                ShardDeadError(f"shard {self.index} worker exited"),
             )
         except RuntimeError:
             pass
@@ -378,7 +488,12 @@ class ProcessShard:
 
     async def _call(self, op: str, payload: dict):
         if self._closed or self._req_send is None:
-            raise ShardError(f"shard {self.index} is not running")
+            raise ShardDeadError(f"shard {self.index} is not running")
+        if self._worker_dead:
+            # The reader already observed EOF: registering a future now
+            # would leave it pending forever (the failure sweep has run or
+            # is scheduled against the *current* pending map).  Fail fast.
+            raise ShardDeadError(f"shard {self.index} worker exited")
         self._request_counter += 1
         req_id = self._request_counter
         future = self._loop.create_future()
@@ -387,7 +502,9 @@ class ProcessShard:
             self._req_send.send((req_id, op, payload))
         except (OSError, ValueError) as error:
             self._pending.pop(req_id, None)
-            raise ShardError(f"shard {self.index} pipe is down: {error}") from error
+            raise ShardDeadError(
+                f"shard {self.index} pipe is down: {error}"
+            ) from error
         return await future
 
     # -- the shard API over the wire ------------------------------------------
@@ -405,8 +522,14 @@ class ProcessShard:
         }
 
     async def submit(
-        self, problem, method: str, params: dict | None, request_id: str | None = None
+        self,
+        problem,
+        method: str,
+        params: dict | None,
+        request_id: str | None = None,
+        deadline: float | None = None,
     ) -> dict:
+        await _apply_pipe_fault(self)
         reply = await self._call(
             "submit",
             {
@@ -414,6 +537,7 @@ class ProcessShard:
                 "method": method,
                 "params": params,
                 "request_id": request_id,
+                "deadline": deadline,
             },
         )
         return self._wire_response(reply)
@@ -445,6 +569,7 @@ class ProcessShard:
         method: str | None = None,
         params: dict | None = None,
         request_id: str | None = None,
+        deadline: float | None = None,
     ) -> dict:
         wire_deltas = None
         if deltas is not None:
@@ -452,6 +577,7 @@ class ProcessShard:
                 delta if isinstance(delta, dict) else delta.to_dict()
                 for delta in deltas
             ]
+        await _apply_pipe_fault(self)
         reply = await self._call(
             "submit_session",
             {
@@ -460,6 +586,7 @@ class ProcessShard:
                 "method": method,
                 "params": params,
                 "request_id": request_id,
+                "deadline": deadline,
             },
         )
         return self._wire_response(reply)
@@ -495,6 +622,41 @@ class ProcessShard:
 
     async def drain(self) -> None:
         await self._call("drain", {})
+
+    def inject_kill(self) -> None:
+        """Kill the worker process outright (chaos hook; SIGKILL, no drain).
+
+        Death propagates exactly like a real crash: the response pipe hits
+        EOF, the reader thread flips ``_worker_dead`` and sweeps pending
+        futures with :class:`ShardDeadError`.
+        """
+        process = self._process
+        if process is not None and process.is_alive():
+            process.kill()
+
+    async def abort(self) -> None:
+        """Hard teardown without the stop handshake (supervisor path).
+
+        For a worker that is already dead -- or must be treated as dead --
+        there is nothing to drain: kill the process if it still breathes,
+        close both pipe ends, reap it, and fail anything still pending.
+        Idempotent, and safe to race :meth:`stop`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        process = self._process
+        if process is not None and process.is_alive():
+            process.kill()
+        if self._req_send is not None:
+            self._req_send.close()
+        if process is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: process.join(timeout=10)
+            )
+        if self._resp_recv is not None:
+            self._resp_recv.close()
+        self._fail_pending(ShardDeadError(f"shard {self.index} aborted"))
 
     async def stop(self) -> None:
         if self._closed:

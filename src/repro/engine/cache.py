@@ -33,6 +33,12 @@ class CacheStats:
     (:meth:`ResultCache.promote`): plumbing traffic -- gossip prefetches,
     hot-set reloads -- that must not pollute the hit/miss ratio an adaptive
     policy learns from.
+
+    ``quarantined`` counts disk-tier entries set aside as unreadable --
+    truncated/corrupt JSON, a payload that does not rebuild, or an envelope
+    whose recorded fingerprint disagrees with its filename.  Each such read
+    is served as a plain miss (the solve path never sees the corruption);
+    the poisoned file is renamed ``*.quarantined`` so it cannot fail again.
     """
 
     hits: int = 0
@@ -41,6 +47,7 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     promotions: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,6 +65,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "promotions": self.promotions,
+            "quarantined": self.quarantined,
             "hit_rate": self.hit_rate,
         }
 
@@ -94,6 +102,10 @@ class ResultCache:
         self.stats = CacheStats()
         self._entries: OrderedDict[str, SynthesisResult] = OrderedDict()
         self._lock = threading.Lock()
+        #: Chaos hook: called as ``fault_hook(key, path)`` right before each
+        #: disk-tier read (see :meth:`repro.chaos.ChaosInjector.cache_read_hook`).
+        #: ``None`` (the default) costs one attribute check per disk probe.
+        self.fault_hook = None
 
     @property
     def policy_name(self) -> str:
@@ -215,15 +227,62 @@ class ResultCache:
             return None
         return self.disk_path / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Set a poisoned disk entry aside and count it (never raises).
+
+        The file is renamed ``<name>.quarantined`` so (a) the next lookup
+        of the same key is a clean miss-then-rewrite instead of re-parsing
+        the same garbage, and (b) the evidence survives for forensics.  A
+        rename that itself fails falls back to unlinking; if even that
+        fails the entry is still served as a miss.
+        """
+        with self._lock:
+            self.stats.quarantined += 1
+        try:
+            path.rename(path.with_name(path.name + ".quarantined"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def _load_from_disk(self, key: str) -> SynthesisResult | None:
         path = self._disk_file(key)
         if path is None or not path.is_file():
             return None
+        if self.fault_hook is not None:
+            self.fault_hook(key, path)
         try:
             with path.open("r", encoding="utf-8") as handle:
-                return SynthesisResult.from_dict(json.load(handle))
-        except (json.JSONDecodeError, KeyError, ValueError, OSError):
-            # A torn or stale file is a miss, not an error.
+                payload = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            # Corrupt bytes on disk: quarantine, then serve a miss.  (A
+            # mid-rename torn read cannot happen -- writes go through
+            # write-then-os.replace -- so garbage here is real corruption.)
+            self._quarantine(path, "unparseable JSON")
+            return None
+        except OSError:
+            # Transient I/O (permissions, disk going away): a miss, but not
+            # the file's fault -- leave it in place.
+            return None
+        if isinstance(payload, dict) and "result" in payload and "key" in payload:
+            # Self-identifying envelope (the current write format): verify
+            # the recorded fingerprint against the filename-derived key, so
+            # a misnamed/mislinked entry cannot serve the wrong answer.
+            if payload.get("key") != key:
+                self._quarantine(
+                    path, f"fingerprint mismatch ({payload.get('key')!r})"
+                )
+                return None
+            body = payload["result"]
+        else:
+            # Legacy bare-result files (pre-envelope) stay readable; they
+            # carry no fingerprint to verify.
+            body = payload
+        try:
+            return SynthesisResult.from_dict(body)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._quarantine(path, "payload does not rebuild")
             return None
 
     def _write_to_disk(self, key: str, result: SynthesisResult) -> None:
@@ -240,7 +299,10 @@ class ResultCache:
             # Write-then-rename keeps concurrent readers from seeing torn files.
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result.to_dict(), handle)
+                # The envelope embeds the key so reads can detect an entry
+                # whose payload does not belong to its filename.
+                json.dump({"version": 1, "key": key, "result": result.to_dict()},
+                          handle)
             os.replace(tmp_name, path)
         except (OSError, TypeError, ValueError):
             if tmp_name is not None:

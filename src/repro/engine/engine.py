@@ -188,6 +188,11 @@ class SolveEngine:
                 "Stats-neutral disk-to-memory promotions",
                 float(cache.promotions),
             ),
+            "repro_engine_cache_quarantined_total": (
+                "counter",
+                "Corrupt disk-tier entries quarantined and served as misses",
+                float(cache.quarantined),
+            ),
             "repro_engine_prewarm_solves_total": (
                 "counter",
                 "Speculative solves spent on prewarm predictions",

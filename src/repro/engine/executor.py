@@ -78,6 +78,10 @@ class Executor:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.stats = ExecutorStats()
+        #: Chaos hook: called as ``fault_hook(len(items))`` before each
+        #: dispatch; raising aborts the batch (stand-in for a solver-task
+        #: crash).  ``None`` costs one attribute check per map.
+        self.fault_hook = None
 
     def map_cells(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to every item; results come back in input order.
@@ -88,6 +92,13 @@ class Executor:
         raise NotImplementedError
 
     def _count(self, items: Sequence) -> None:
+        # Every backend's map_cells calls this exactly once per dispatch, so
+        # it doubles as the chaos injection point: a hook that raises aborts
+        # the batch before any task runs (parent-side, which is what makes
+        # it work identically across serial/thread/process backends).
+        hook = self.fault_hook
+        if hook is not None:
+            hook(len(items))
         self.stats.batches += 1
         self.stats.tasks += len(items)
 

@@ -14,6 +14,14 @@ Examples::
     python -m repro.loadgen --shards 2 --transport process --ops 16
     python -m repro.loadgen --replay workload.jsonl --mode open
     python -m repro.loadgen --seed 11 --json --out BENCH_service.json
+    python -m repro.loadgen --shards 2 --chaos-kill 0@5 --json
+
+Chaos runs (``--chaos-kill SHARD@OP``, repeatable) install a seeded
+:class:`~repro.chaos.FaultPlan` on the router: the named shard is killed
+when the router sees its Nth operation, the supervisor restarts it, and the
+closed loop's retry policy carries every lane through -- the payload then
+includes the fault log and the router's Prometheus exposition so CI can
+assert zero lost operations and digest parity against the fault-free run.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import asyncio
 import json
 import sys
 
+from repro.chaos import FaultPlan, FaultSpec
 from repro.cluster import ClusterOptions, ClusterRouter
 from repro.loadgen.report import build_report
 from repro.loadgen.runner import run_closed_loop, run_open_loop
@@ -90,10 +99,28 @@ def build_users(args: argparse.Namespace) -> list:
     return users
 
 
+def build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    """A seeded :class:`FaultPlan` from the ``--chaos-kill`` flags."""
+    if not args.chaos_kill:
+        return None
+    faults = []
+    for spec in args.chaos_kill:
+        shard_text, _, op_text = spec.partition("@")
+        try:
+            shard, at_op = int(shard_text), int(op_text)
+        except ValueError:
+            raise SystemExit(
+                f"--chaos-kill expects SHARD@OP (got {spec!r})"
+            ) from None
+        faults.append(FaultSpec(kind="kill_shard", at_op=at_op, shard=shard))
+    return FaultPlan(faults, seed=args.seed)
+
+
 async def run(args: argparse.Namespace, cache_policy: str | None = None) -> dict:
     users = build_users(args)
     plan = build_plan(users, seed=args.seed)
     policy = cache_policy if cache_policy is not None else args.cache_policy
+    chaos = build_fault_plan(args)
     options = ClusterOptions(
         num_shards=args.shards,
         transport=args.transport,
@@ -103,25 +130,37 @@ async def run(args: argparse.Namespace, cache_policy: str | None = None) -> dict
             batch_window=args.batch_window, cache_policy=policy
         ),
     )
-    async with ClusterRouter(options) as cluster:
+    async with ClusterRouter(options, chaos=chaos) as cluster:
         if args.mode == "open":
-            results, wall = await run_open_loop(cluster, plan, rate=args.rate)
+            results, wall = await run_open_loop(
+                cluster, plan, rate=args.rate, deadline=args.deadline
+            )
         else:
-            results, wall = await run_closed_loop(cluster, plan)
+            results, wall = await run_closed_loop(
+                cluster, plan, deadline=args.deadline
+            )
         await cluster.drain()
         stats = await cluster.stats()
+        prometheus = (
+            await cluster.export_metrics_prometheus() if chaos else None
+        )
     report = build_report(args.mode, results, wall, stats)
-    return {
+    payload = {
         "seed": args.seed,
         "shards": args.shards,
         "transport": args.transport,
         "queue_limit": args.queue_limit,
         "cache_policy": policy,
+        "deadline": args.deadline,
         "report": report.to_dict(),
         "digests": dict(report.digests),
         "describe": report.describe(),
         "cluster": stats.to_dict(),
     }
+    if chaos is not None:
+        payload["faults"] = cluster.chaos.summary()
+        payload["prometheus"] = prometheus
+    return payload
 
 
 async def run_policy_comparison(args: argparse.Namespace) -> dict:
@@ -215,6 +254,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the same seeded plan under lru AND cost "
                         "policies, assert bitwise answer parity, and report "
                         "both legs side by side")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-operation deadline budget, seconds "
+                        "(expired requests are shed pre-solve and retried "
+                        "by the closed loop)")
+    parser.add_argument("--chaos-kill", action="append", default=[],
+                        metavar="SHARD@OP",
+                        help="kill SHARD when the router sees operation OP "
+                        "(repeatable); installs a seeded FaultPlan and adds "
+                        "the fault log + Prometheus text to the payload")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", action="store_true",
                         help="print the full report payload as JSON")
@@ -224,6 +272,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.shards < 1:
         parser.error("--shards must be >= 1")
+    if args.deadline is not None and args.deadline <= 0:
+        parser.error("--deadline must be positive")
     args.families = DEFAULT_FAMILIES
     if args.scenario:
         from repro.scenarios import list_families

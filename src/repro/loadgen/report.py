@@ -53,7 +53,13 @@ class LoadReport:
         errors: Operations that failed with a non-backpressure error.
         shed: Operations rejected by admission control (open loop; the
             closed loop retries instead and counts ``retries``).
-        retries: Backpressure retries performed (closed loop).
+        retries: Retries performed (backpressure, crashed shards mid-
+            restart, chaos faults, missed deadlines).
+        backoff_time: Total seconds lanes spent sleeping between retries.
+        failovers: Completed solves served by a non-owner shard because
+            the owner was down.
+        deadline_misses: Deadline expiries observed (an operation retried
+            after a miss contributes to both this and ``completed``).
         wall_time: Seconds from first arrival to last completion.
         qps: Completed solving operations per wall-clock second
             (session opens are bookkeeping and excluded).
@@ -61,6 +67,9 @@ class LoadReport:
         hit_rate: Cache hits / completed solves.
         coalesce_rate: Coalesced / completed solves.
         per_shard: Completed solves by shard index (balance view).
+        per_lane: Per-lane fault accounting: ``{lane: {ops, completed,
+            retries, backoff_time, failovers, deadline_misses, shed,
+            errors}}``.
         peak_queue_depth: Router's per-shard high-water pending depth
             (empty for single-server targets).
         digests: ``{"lane:index": answer digest}`` for parity comparison.
@@ -78,6 +87,10 @@ class LoadReport:
     hit_rate: float
     coalesce_rate: float
     per_shard: dict
+    backoff_time: float = 0.0
+    failovers: int = 0
+    deadline_misses: int = 0
+    per_lane: dict = field(default_factory=dict)
     peak_queue_depth: list = field(default_factory=list)
     digests: dict = field(default_factory=dict)
 
@@ -89,12 +102,18 @@ class LoadReport:
             "errors": self.errors,
             "shed": self.shed,
             "retries": self.retries,
+            "backoff_time": self.backoff_time,
+            "failovers": self.failovers,
+            "deadline_misses": self.deadline_misses,
             "wall_time": self.wall_time,
             "qps": self.qps,
             "latency": dict(self.latency),
             "hit_rate": self.hit_rate,
             "coalesce_rate": self.coalesce_rate,
             "per_shard": dict(self.per_shard),
+            "per_lane": {
+                lane: dict(row) for lane, row in self.per_lane.items()
+            },
             "peak_queue_depth": list(self.peak_queue_depth),
         }
 
@@ -105,7 +124,9 @@ class LoadReport:
         return (
             f"[{self.mode}] {self.completed}/{self.operations} ops in "
             f"{self.wall_time:.2f}s ({self.qps:.1f} qps) | "
-            f"shed={self.shed} errors={self.errors} retries={self.retries} | "
+            f"shed={self.shed} errors={self.errors} retries={self.retries} "
+            f"failovers={self.failovers} "
+            f"deadline_misses={self.deadline_misses} | "
             f"hits={self.hit_rate:.0%} coalesced={self.coalesce_rate:.0%} | "
             f"latency p50={self.latency['p50'] * 1e3:.1f}ms "
             f"p95={self.latency['p95'] * 1e3:.1f}ms "
@@ -124,6 +145,29 @@ def build_report(
     per_shard: dict = {}
     for result in solves:
         per_shard[result.shard] = per_shard.get(result.shard, 0) + 1
+    per_lane: dict = {}
+    for result in results:
+        row = per_lane.setdefault(
+            result.lane,
+            {
+                "ops": 0,
+                "completed": 0,
+                "retries": 0,
+                "backoff_time": 0.0,
+                "failovers": 0,
+                "deadline_misses": 0,
+                "shed": 0,
+                "errors": 0,
+            },
+        )
+        row["ops"] += 1
+        row["completed"] += int(result.ok)
+        row["retries"] += result.retries
+        row["backoff_time"] += result.backoff_time
+        row["failovers"] += int(result.failover)
+        row["deadline_misses"] += result.deadline_misses
+        row["shed"] += int(result.shed)
+        row["errors"] += int(not result.ok and not result.shed)
     return LoadReport(
         mode=mode,
         operations=len(results),
@@ -147,6 +191,10 @@ def build_report(
             sum(r.coalesced for r in solves) / len(solves) if solves else 0.0
         ),
         per_shard=per_shard,
+        backoff_time=sum(r.backoff_time for r in results),
+        failovers=sum(1 for r in solves if r.failover),
+        deadline_misses=sum(r.deadline_misses for r in results),
+        per_lane=per_lane,
         peak_queue_depth=(
             list(cluster_stats.peak_queue_depth)
             if cluster_stats is not None

@@ -4,11 +4,18 @@
   in-flight queries, micro-batches onto a
   :class:`~repro.engine.engine.SolveEngine`, and records per-request
   latency / cache telemetry.
+* :mod:`repro.service.errors` / :mod:`repro.service.retry` -- the
+  fault-tolerance contract: :class:`DeadlineExceededError` (a request shed
+  before solving because its deadline budget ran out) and
+  :class:`RetryPolicy` (seeded exponential backoff with deterministic
+  jitter over any error carrying a truthy ``retryable`` attribute).
 * ``python -m repro.service`` -- a CLI that starts the server in-process,
   fires a configurable burst of how-to-rank queries, and prints the
   throughput / latency / cache report.
 """
 
+from repro.service.errors import DeadlineExceededError
+from repro.service.retry import RetryPolicy
 from repro.service.server import (
     QueryResponse,
     QueryServer,
@@ -18,9 +25,11 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "DeadlineExceededError",
     "QueryResponse",
     "QueryServer",
     "QueryServerOptions",
     "RequestRecord",
+    "RetryPolicy",
     "ServiceStats",
 ]

@@ -1,0 +1,32 @@
+"""Service-level request errors shared by the server, cluster, and clients.
+
+These live in their own module (rather than ``repro.service.server``) so the
+cluster router, the load generator, and the retry policy can import them
+without pulling in the whole serving stack -- and so the process-shard wire
+layer can rebuild them by name on the parent side of the pipe.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeadlineExceededError"]
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline expired before solving started.
+
+    Deadlines are enforced *pre-solve only* (router admission, server
+    intake, and batch pickup): an expired request is shed without invoking
+    any solver, which keeps answers bitwise deterministic -- a solve, once
+    started, always runs to completion and produces the same bytes as an
+    undeadlined run.  The error is retryable by contract: nothing was
+    enqueued or mutated, so the identical call can be reissued (typically
+    with a fresh deadline).
+    """
+
+    #: Duck-typed retry contract consumed by ``RetryPolicy.retryable``.
+    retryable = True
+
+    def __init__(self, message: str, remaining: float = 0.0) -> None:
+        super().__init__(message)
+        #: Seconds left on the deadline when the request was shed (<= 0).
+        self.remaining = remaining

@@ -1,0 +1,87 @@
+"""Seeded client-side retry policy: exponential backoff, deterministic jitter.
+
+:class:`RetryPolicy` decides *whether* an error is worth retrying and *how
+long* to back off before each attempt; the caller does the sleeping (sync
+``time.sleep`` or ``await asyncio.sleep`` both work), so the policy itself
+stays a pure value object.
+
+Retryability is duck-typed: any exception carrying a truthy ``retryable``
+attribute qualifies.  The serving stack marks its transient failures that
+way -- :class:`~repro.cluster.ShardBusyError` (admission backpressure),
+:class:`~repro.cluster.ShardCrashedError` (shard down, restart pending),
+:class:`~repro.service.DeadlineExceededError` (shed pre-solve), and
+:class:`~repro.chaos.ChaosError` (injected transient fault) -- which keeps
+this module free of imports from the cluster layer (no cycle) and lets any
+future error type opt in without touching the policy.
+
+Jitter is **deterministic**: the delay for attempt ``k`` of retry key ``K``
+comes from :func:`repro.data.rng.derive_rng` seeded with
+``(seed, "retry", *K, k)``, so two runs of the same seeded load plan back
+off identically -- retries stay inside the reproducibility envelope the
+rest of the harness guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.rng import derive_rng
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries transient serving failures.
+
+    Attributes:
+        max_retries: Attempts after the first (0 disables retrying).
+        base_backoff: Delay before the first retry, seconds.
+        factor: Exponential growth per attempt.
+        max_backoff: Ceiling on any single delay, seconds.
+        jitter: Fraction of the raw delay randomized away (0 = none,
+            0.5 = each delay uniform in ``[0.5 * raw, raw]``).  Jitter is
+            subtractive so ``max_backoff`` stays a hard ceiling.
+        seed: Master seed of the jitter streams (see module docstring).
+    """
+
+    max_retries: int = 8
+    base_backoff: float = 0.01
+    factor: float = 2.0
+    max_backoff: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` is a transient failure worth reissuing.
+
+        Duck-typed on the exception's ``retryable`` attribute; anything
+        else (a genuine bug, bad input, a terminal crash) propagates.
+        """
+        return bool(getattr(error, "retryable", False))
+
+    def backoff(self, attempt: int, key: tuple = ()) -> float:
+        """Delay in seconds before retry ``attempt`` (0-based) of ``key``.
+
+        ``key`` identifies the logical operation being retried (say
+        ``(lane, index)`` or a fingerprint); distinct keys get independent
+        jitter streams, so a thundering herd of same-plan lanes still
+        de-synchronizes -- deterministically.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        raw = min(self.base_backoff * self.factor**attempt, self.max_backoff)
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        rng = derive_rng(self.seed, "retry", *key, attempt)
+        return raw * (1.0 - self.jitter * float(rng.random()))

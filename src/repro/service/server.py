@@ -44,6 +44,7 @@ from repro.engine.policy import predict_next_deltas
 from repro.obs import Observability
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.trace import NOOP_SPAN, run_in_context
+from repro.service.errors import DeadlineExceededError
 
 __all__ = [
     "QueryServerOptions",
@@ -95,6 +96,12 @@ class QueryServerOptions:
             and promoted back from the disk tier on :meth:`start`, so a
             restart recovers its hit rate without cold traffic.  Requires
             ``cache_dir`` to be useful (promotion reads the disk tier).
+        deadline_budget_rate: Optional deadline-to-iteration-budget mapping:
+            a request arriving with deadline ``d`` and an explicit
+            ``max_iterations`` option gets the option capped at
+            ``max(1, int(d * rate))``.  The cap depends only on the deadline
+            *value* (never on elapsed time), so the mapped request stays
+            deterministic: same deadline, same fingerprint, same answer.
     """
 
     backend: str = "serial"
@@ -110,6 +117,7 @@ class QueryServerOptions:
     prewarm: bool = False
     prewarm_candidates: int = 2
     hot_set_path: str | None = None
+    deadline_budget_rate: float | None = None
 
 
 @dataclass
@@ -222,6 +230,7 @@ class ServiceStats:
     cache_hits: int = 0
     batches: int = 0
     shed: int = 0
+    deadline_exceeded: int = 0
     solver_invocations: int = 0
     mean_latency: float = 0.0
     p50_latency: float = 0.0
@@ -338,6 +347,7 @@ class QueryServer:
         self._total_requests = 0
         self._total_coalesced = 0
         self._total_cache_hits = 0
+        self._deadline_exceeded = 0
         self._latency_sum = 0.0
         self._loop_task: asyncio.Task | None = None
         self._closing = False
@@ -397,6 +407,11 @@ class QueryServer:
                 "gauge",
                 "Hot-set entries promoted from disk at startup",
                 self._hot_set_loaded,
+            ),
+            "repro_service_deadline_exceeded_total": (
+                "counter",
+                "Requests shed because their deadline expired before solving",
+                self._deadline_exceeded,
             ),
         }
 
@@ -521,12 +536,45 @@ class QueryServer:
 
     # -- the front door -------------------------------------------------------
 
+    def _check_deadline(self, deadline: float | None) -> None:
+        """Shed a request whose deadline budget is already spent at intake."""
+        if deadline is not None and deadline <= 0:
+            self._deadline_exceeded += 1
+            raise DeadlineExceededError(
+                f"deadline expired before solve started ({deadline:.4f}s left)",
+                remaining=deadline,
+            )
+
+    def _apply_deadline_budget(
+        self, request: SolveRequest, deadline: float | None
+    ) -> SolveRequest:
+        """Map a deadline onto the solver's iteration budget, deterministically.
+
+        Only requests that *explicitly* budget ``max_iterations`` are capped
+        (never method defaults), and the cap is a pure function of the
+        deadline value -- elapsed time never feeds in, so repeated runs with
+        the same deadlines compose the same fingerprints and answers.
+        """
+        rate = self.options.deadline_budget_rate
+        if rate is None or deadline is None:
+            return request
+        current = request.options.get("max_iterations")
+        if not isinstance(current, int):
+            return request
+        budget = max(1, int(deadline * rate))
+        if budget >= current:
+            return request
+        options = dict(request.options)
+        options["max_iterations"] = budget
+        return SolveRequest(request.problem, request.method, options)
+
     async def submit(
         self,
         problem: RankingProblem,
         method: str = "symgd",
         params: dict | None = None,
         request_id: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResponse:
         """Submit one how-to-rank query and await its response.
 
@@ -536,15 +584,25 @@ class QueryServer:
         dispatch/task/solver spans nest under the *primary* request's trace
         (exactly once per solve), and a coalesced waiter's span points at it
         via its ``primary_trace`` attribute.
+
+        ``deadline`` is a relative budget in seconds.  Enforcement is
+        pre-solve only (intake here, batch pickup in ``_run_batch``): an
+        expired request fails with :class:`DeadlineExceededError` before any
+        solver work starts, and a request that *does* start always runs to
+        completion -- mid-solve aborts would make answers depend on wall
+        clock, breaking the bitwise-determinism invariant.
         """
         if self._loop_task is None or self._closing:
             raise RuntimeError("QueryServer is not running; call start() first")
         self._check_method_allowed(method)
+        self._check_deadline(deadline)
         assert self._queue is not None
         self._request_counter += 1
         if request_id is None:
             request_id = f"q{self._request_counter}"
-        request = SolveRequest(problem, method, dict(params or {}))
+        request = self._apply_deadline_budget(
+            SolveRequest(problem, method, dict(params or {})), deadline
+        )
         key = request.fingerprint
 
         arrived = time.perf_counter()
@@ -560,11 +618,15 @@ class QueryServer:
             future = self._inflight.get(key)
             coalesced = future is not None
             if future is None:
-                future = asyncio.get_running_loop().create_future()
+                loop = asyncio.get_running_loop()
+                future = loop.create_future()
                 self._inflight[key] = future
                 ctx = span.context
                 self._inflight_ctx[key] = ctx
-                self._queue.put_nowait((key, request, ctx))
+                deadline_ts = (
+                    loop.time() + deadline if deadline is not None else None
+                )
+                self._queue.put_nowait((key, request, ctx, deadline_ts))
             elif span:
                 primary = self._inflight_ctx.get(key)
                 span.set_attributes(
@@ -716,6 +778,7 @@ class QueryServer:
         method: str | None = None,
         params: dict | None = None,
         request_id: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResponse:
         """Apply edits to a session and solve its head incrementally.
 
@@ -740,6 +803,10 @@ class QueryServer:
         """
         if self._loop_task is None or self._closing:
             raise RuntimeError("QueryServer is not running; call start() first")
+        # Intake-only deadline check, BEFORE the session is touched: an
+        # expired call must not commit deltas (the client's retry re-sends
+        # them, and double-applied edits would corrupt the session head).
+        self._check_deadline(deadline)
         session = self._session(session_id)
         solve_method = method or session.method
         self._check_method_allowed(solve_method)
@@ -749,10 +816,13 @@ class QueryServer:
         # edits: a bad method/options pair must fail without advancing the
         # session, or a client retrying the "failed" call would double-apply
         # its deltas.
-        request = SolveRequest(
-            head,
-            solve_method,
-            dict(params if params is not None else session.params),
+        request = self._apply_deadline_budget(
+            SolveRequest(
+                head,
+                solve_method,
+                dict(params if params is not None else session.params),
+            ),
+            deadline,
         )
         if parsed:
             session.problem = head
@@ -1044,11 +1114,34 @@ class QueryServer:
             await self._run_batch(batch)
 
     async def _run_batch(self, batch: list) -> None:
+        loop = asyncio.get_running_loop()
+        # Deadline check at batch pickup: a request whose budget expired
+        # while it sat in the queue is shed here, before any solver work --
+        # the last pre-solve enforcement point (running solves are never
+        # aborted; see submit()).
+        now = loop.time()
+        live = []
+        for key, request, ctx, deadline_ts in batch:
+            if deadline_ts is not None and now >= deadline_ts:
+                self._deadline_exceeded += 1
+                future = self._inflight.pop(key, None)
+                self._inflight_ctx.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(
+                        DeadlineExceededError(
+                            "deadline expired while queued",
+                            remaining=deadline_ts - now,
+                        )
+                    )
+                continue
+            live.append((key, request, ctx))
+        if not live:
+            return
+        batch = live
         keys = [key for key, _, _ in batch]
         requests = [request for _, request, _ in batch]
         contexts = [ctx for _, _, ctx in batch]
         self._batches += 1
-        loop = asyncio.get_running_loop()
         try:
             outcomes = await loop.run_in_executor(
                 None, lambda: self.engine.solve_batch(requests, contexts)
@@ -1103,6 +1196,7 @@ class QueryServer:
         """
         if not self._total_requests:
             return ServiceStats(
+                deadline_exceeded=self._deadline_exceeded,
                 history_window=len(self._records),
                 cache=self.engine.cache.stats.as_dict(),
                 sessions_open=len(self._sessions),
@@ -1122,6 +1216,7 @@ class QueryServer:
             coalesced=self._total_coalesced,
             cache_hits=self._total_cache_hits,
             batches=self._batches,
+            deadline_exceeded=self._deadline_exceeded,
             solver_invocations=self.engine.solver_invocations,
             mean_latency=self._latency_sum / self._total_requests,
             p50_latency=hist.quantile(0.50),

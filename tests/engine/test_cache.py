@@ -114,6 +114,82 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
     assert cache.stats.misses == 1
 
 
+def test_truncated_entry_is_quarantined_and_counted(tmp_path):
+    (tmp_path / "torn.json").write_text('{"torn": ', encoding="utf-8")
+    cache = ResultCache(capacity=2, disk_path=tmp_path)
+    assert cache.get("torn") is None
+    assert cache.stats.misses == 1
+    assert cache.stats.quarantined == 1
+    # The poison is renamed aside: evidence kept, re-parse impossible.
+    assert not (tmp_path / "torn.json").exists()
+    assert (tmp_path / "torn.json.quarantined").is_file()
+    # The next lookup of the same key is a clean miss, not a re-quarantine.
+    assert cache.get("torn") is None
+    assert cache.stats.quarantined == 1
+    # And the slot is writable again: a fresh solve repopulates it.
+    cache.put("torn", make_result(9))
+    restarted = ResultCache(capacity=2, disk_path=tmp_path)
+    recovered = restarted.get("torn")
+    assert recovered is not None and recovered.error == 9
+
+
+def test_key_mismatched_envelope_is_quarantined(tmp_path):
+    cache = ResultCache(capacity=2, disk_path=tmp_path)
+    cache.put("aaaa", make_result(1))
+    # Simulate a mislinked/misnamed entry: bbbb.json carrying aaaa's bytes.
+    (tmp_path / "bbbb.json").write_text(
+        (tmp_path / "aaaa.json").read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    fresh = ResultCache(capacity=2, disk_path=tmp_path)
+    # The envelope's recorded key disagrees with the filename: the wrong
+    # answer must NOT be served under bbbb.
+    assert fresh.get("bbbb") is None
+    assert fresh.stats.quarantined == 1
+    assert (tmp_path / "bbbb.json.quarantined").is_file()
+    # The well-formed entry is untouched.
+    hit = fresh.get("aaaa")
+    assert hit is not None and hit.error == 1
+
+
+def test_unrebuildable_payload_is_quarantined(tmp_path):
+    import json
+
+    (tmp_path / "hollow.json").write_text(
+        json.dumps({"version": 1, "key": "hollow", "result": {"nope": True}}),
+        encoding="utf-8",
+    )
+    cache = ResultCache(capacity=2, disk_path=tmp_path)
+    assert cache.get("hollow") is None
+    assert cache.stats.quarantined == 1
+    assert (tmp_path / "hollow.json.quarantined").is_file()
+
+
+def test_legacy_bare_result_files_stay_readable(tmp_path):
+    import json
+
+    # Pre-envelope format: the result dict directly, no key/version wrapper.
+    (tmp_path / "old.json").write_text(
+        json.dumps(make_result(6).to_dict()), encoding="utf-8"
+    )
+    cache = ResultCache(capacity=2, disk_path=tmp_path)
+    hit = cache.get("old")
+    assert hit is not None and hit.error == 6
+    assert cache.stats.disk_hits == 1
+    assert cache.stats.quarantined == 0
+
+
+def test_fault_hook_sees_every_disk_read(tmp_path):
+    cache = ResultCache(capacity=1, disk_path=tmp_path)
+    cache.put("aa", make_result(1))
+    cache.put("bb", make_result(2))  # evicts "aa" from memory
+    seen = []
+    cache.fault_hook = lambda key, path: seen.append((key, path.name))
+    assert cache.get("aa") is not None  # served from disk -> hook fired
+    assert seen == [("aa", "aa.json")]
+    assert cache.get("aa") is not None  # now memory-resident -> no hook
+    assert seen == [("aa", "aa.json")]
+
+
 def test_clear_and_validation(tmp_path):
     with pytest.raises(ValueError):
         ResultCache(capacity=0)

@@ -1,0 +1,176 @@
+"""Request deadlines: pre-solve shedding, queue-expiry, iteration budgets."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.delta import RescaleDelta
+from repro.core.problem import RankingProblem
+from repro.data.rankings import ranking_from_scores
+from repro.data.synthetic import generate_uniform
+from repro.obs.export import parse_prometheus
+from repro.service import (
+    DeadlineExceededError,
+    QueryServer,
+    QueryServerOptions,
+)
+
+FAST_PARAMS = {
+    "cell_size": 0.2,
+    "max_iterations": 4,
+    "solver_options": {
+        "node_limit": 60,
+        "verify": False,
+        "warm_start_strategy": "none",
+    },
+}
+
+
+def build_problem(k: int = 4, seed: int = 1) -> RankingProblem:
+    relation = generate_uniform(30, 3, seed=seed)
+    scores = relation.matrix() @ np.asarray([0.5, 0.3, 0.2])
+    return RankingProblem(relation, ranking_from_scores(scores, k=k))
+
+
+def test_expired_deadline_is_shed_before_solving():
+    problem = build_problem()
+
+    async def scenario():
+        async with QueryServer(
+            options=QueryServerOptions(batch_window=0.0)
+        ) as server:
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                await server.submit(problem, "symgd", FAST_PARAMS, deadline=0.0)
+            assert excinfo.value.retryable is True
+            stats = server.stats()
+            metrics = parse_prometheus(server.export_metrics_prometheus())
+            return server.engine.solver_invocations, stats, metrics
+
+    invocations, stats, metrics = asyncio.run(scenario())
+    assert invocations == 0  # the solver never ran
+    assert stats.deadline_exceeded == 1
+    assert stats.requests == 0  # shed at intake, never admitted
+    key = ("repro_service_deadline_exceeded_total", ())
+    assert metrics[key] == 1.0
+
+
+def test_generous_deadline_does_not_change_the_answer():
+    problem = build_problem()
+
+    async def scenario():
+        async with QueryServer(
+            options=QueryServerOptions(batch_window=0.0)
+        ) as server:
+            free = await server.submit(problem, "symgd", FAST_PARAMS)
+            bounded = await server.submit(
+                problem, "symgd", FAST_PARAMS, deadline=30.0
+            )
+            return free, bounded, server.stats()
+
+    free, bounded, stats = asyncio.run(scenario())
+    # Same fingerprint (the deadline is serving metadata, not request
+    # identity) and the bounded call is served from cache -- bitwise parity.
+    assert bounded.outcome.fingerprint == free.outcome.fingerprint
+    assert bounded.cache_hit
+    assert stats.deadline_exceeded == 0
+
+
+def test_deadline_expires_while_queued_in_the_batch_window():
+    problem = build_problem()
+
+    async def scenario():
+        # A wide batch window: the request sits queued long enough for a
+        # tiny deadline to lapse before the batch is picked up.
+        options = QueryServerOptions(batch_window=0.2, max_batch=8)
+        async with QueryServer(options=options) as server:
+            doomed = asyncio.ensure_future(
+                server.submit(problem, "symgd", FAST_PARAMS, deadline=0.001)
+            )
+            with pytest.raises(DeadlineExceededError):
+                await doomed
+            return server.stats()
+
+    stats = asyncio.run(scenario())
+    assert stats.deadline_exceeded == 1
+
+
+def test_deadline_budget_rate_caps_explicit_iterations_only():
+    server = QueryServer(
+        options=QueryServerOptions(deadline_budget_rate=100.0)
+    )
+    from repro.engine.engine import SolveRequest
+
+    capped = server._apply_deadline_budget(
+        SolveRequest(build_problem(), "symgd", dict(FAST_PARAMS)), 0.02
+    )
+    # 0.02s at 100 iterations/s -> budget 2, under the explicit 4.
+    assert capped.options["max_iterations"] == 2
+
+    roomy = server._apply_deadline_budget(
+        SolveRequest(build_problem(), "symgd", dict(FAST_PARAMS)), 10.0
+    )
+    assert roomy.options["max_iterations"] == 4  # budget above ask: untouched
+
+    defaults = server._apply_deadline_budget(
+        SolveRequest(build_problem(), "symgd", {}), 0.02
+    )
+    # No explicit max_iterations: never cap method defaults (that would
+    # change the fingerprint of every deadline-carrying request).
+    assert "max_iterations" not in defaults.options
+
+    no_rate = QueryServer()._apply_deadline_budget(
+        SolveRequest(build_problem(), "symgd", dict(FAST_PARAMS)), 0.02
+    )
+    assert no_rate.options["max_iterations"] == 4
+
+
+def test_budget_capped_request_changes_fingerprint_not_correctness():
+    problem = build_problem()
+
+    async def scenario():
+        options = QueryServerOptions(
+            batch_window=0.0, deadline_budget_rate=100.0
+        )
+        async with QueryServer(options=options) as server:
+            capped = await server.submit(
+                problem, "symgd", FAST_PARAMS, deadline=0.02
+            )
+            free = await server.submit(problem, "symgd", FAST_PARAMS)
+            return capped, free
+
+    capped, free = asyncio.run(scenario())
+    # The capped solve is a *different request* (fewer iterations), solved
+    # and cached under its own fingerprint -- not a corrupted entry of the
+    # uncapped one.
+    assert capped.outcome.fingerprint != free.outcome.fingerprint
+    assert not free.cache_hit
+
+
+def test_session_deadline_sheds_before_committing_deltas():
+    problem = build_problem()
+
+    async def scenario():
+        async with QueryServer(
+            options=QueryServerOptions(batch_window=0.0)
+        ) as server:
+            session_id = await server.open_session(problem, "symgd", FAST_PARAMS)
+            delta = RescaleDelta(factor=2.0).to_dict()
+            with pytest.raises(DeadlineExceededError):
+                await server.submit_session(
+                    session_id, deltas=[delta], deadline=0.0
+                )
+            info = server.session_info(session_id)
+            # The expired call never touched the session: a retry with a
+            # fresh budget applies the edit exactly once.
+            response = await server.submit_session(
+                session_id, deltas=[delta], deadline=30.0
+            )
+            return info, response, server.stats()
+
+    info, response, stats = asyncio.run(scenario())
+    assert info["edits"] == 0
+    assert stats.deadline_exceeded == 1
+    assert response.result is not None
