@@ -1,0 +1,108 @@
+"""Million-row data plane: streamed build, rank-dominance prune, chunked sweep.
+
+Guards the data-plane rework (columnar/memmap relations, bounded-memory
+chunked evaluation, rank-dominance tuple pruning) end-to-end and writes the
+measured numbers to ``BENCH_dataplane.json`` at the repository root, which CI
+uploads as an artifact; the committed copy is the baseline snapshot.
+
+Assertions are correctness- and memory-first, loose on wall-clock:
+
+* the ``massive`` scenario at **one million rows** must build, prune, and
+  sweep candidates through the chunked ``errors_of_many`` path with every
+  leg's ``tracemalloc`` peak under :data:`RSS_BUDGET_BYTES` -- the relation
+  itself lives in file-backed memmap pages, so resident transients are the
+  whole story;
+* the hidden generator weights must evaluate to **near-zero error** at a
+  million rows (float32 ties at the top-k boundary allow a position or
+  two), and the sweep's chunked errors must agree with the scalar path;
+* on every (non-heavy) scenario family, RankHow with pruning on must be
+  **bitwise-equal** (weights, error, node count) to pruning off, and the
+  chunked evaluation bitwise-equal to the single-shot reference;
+* the presolve must **shrink the naive MILP**: fewer indicator variables
+  than both the unpruned formulation and the ``k * (n - 1)`` worst case,
+  with the reduction ratio recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.experiments import experiment_dataplane
+from repro.bench.reporting import ascii_table
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_dataplane.json"
+
+#: Stated resident-transient budget for the million-row legs.  The default
+#: data-plane chunking budget is 64 MB; the remaining headroom covers the
+#: float64 score/rank transients of the ranking build (a few n-length
+#: arrays) that are sized by ``n``, not by the chunk policy.
+RSS_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def _by_experiment(records, name):
+    return [record for record in records if record.experiment == name]
+
+
+def _write_baseline(records) -> None:
+    payload = {
+        "schema": 1,
+        "experiment": "dataplane",
+        "rss_budget_bytes": RSS_BUDGET_BYTES,
+        "records": [record.as_row() for record in records],
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_dataplane(benchmark):
+    records = benchmark.pedantic(
+        lambda: experiment_dataplane(),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ascii_table(records, title="Data plane: million-row build / prune / sweep"))
+    _write_baseline(records)
+
+    # -- million rows, bounded resident transients ---------------------------
+    massive = {r.method: r for r in _by_experiment(records, "dataplane_massive")}
+    build, prune, sweep = massive["build"], massive["prune"], massive["chunked_sweep"]
+    assert build.params["n"] >= 1_000_000
+    assert build.extra["backend"] == "memmap"
+    assert build.extra["dtype"] == "float32"
+    for leg in (build, prune, sweep):
+        assert leg.extra["peak_bytes"] < RSS_BUDGET_BYTES, (
+            f"{leg.method} peaked at {leg.extra['peak_bytes']} bytes, "
+            f"over the {RSS_BUDGET_BYTES} budget"
+        )
+    # Correlated data: the presolve must remove the clear majority.
+    assert prune.extra["prune_ratio"] > 0.5
+    # The sweep actually took the chunked path, and the chunked evaluation
+    # of the hidden generator weights agrees exactly with the scalar path.
+    # The hidden error itself is near-zero rather than zero: at a million
+    # float32 rows a handful of scores tie within ``tie_eps`` around the
+    # top-k boundary, where the strict generator order and the tie-tolerant
+    # induced ranking can legitimately differ by a position.
+    assert sweep.extra["chunked_evals_total"] >= 1
+    assert sweep.extra["hidden_error"] <= 2
+    assert sweep.extra["hidden_error_matches"]
+
+    # -- bitwise parity on every family --------------------------------------
+    parity = _by_experiment(records, "dataplane_parity")
+    assert len(parity) >= 10
+    for record in parity:
+        assert record.extra["bitwise_equal"], (
+            f"pruned solve diverged on family {record.dataset}"
+        )
+        assert record.extra["chunked_equal"], (
+            f"chunked errors diverged on family {record.dataset}"
+        )
+
+    # -- the presolve shrinks the naive MILP ---------------------------------
+    milp = {r.method: r for r in _by_experiment(records, "dataplane_milp")}
+    full = milp["formulation[full]"]
+    pruned = milp["formulation[pruned]"]
+    assert pruned.extra["indicators"] < full.extra["indicators"]
+    assert pruned.extra["variables"] < full.extra["variables"]
+    assert full.extra["indicators"] <= full.extra["naive_pairs"]
+    assert pruned.extra["prune_ratio"] > 0.0

@@ -1084,3 +1084,197 @@ def experiment_incremental(
                 )
             )
     return records
+
+
+def experiment_dataplane(
+    num_tuples: int = 1_000_000,
+    sweep_candidates: int = 24,
+    milp_tuples: int = 2_000,
+    milp_k: int = 10,
+    seed: int = 20260730,
+) -> list[ExperimentRecord]:
+    """The million-row data plane: build, prune, and evaluate under budget.
+
+    * ``dataplane_massive`` -- the heavy ``massive`` scenario at
+      ``num_tuples`` rows (float32 memmap columns, streamed generation):
+      build the relation and ranking, run the rank-dominance presolve, and
+      sweep ``sweep_candidates`` simplex weight vectors through the chunked
+      ``errors_of_many`` path.  Each leg records wall-clock and its
+      ``tracemalloc`` peak -- the resident-transient figure the bench
+      asserts stays bounded while the relation itself lives in file-backed
+      pages.
+    * ``dataplane_parity`` -- every (non-heavy) scenario family solved by
+      RankHow with pruning off and on under prune-invariant seeding;
+      ``extra["bitwise_equal"]`` records weight/node equality, alongside
+      each family's prune ratio and the chunked-vs-reference equality of
+      ``errors_of_many``.
+    * ``dataplane_milp`` -- the naive (no dominance elimination) MILP at
+      ``milp_tuples`` correlated rows, full vs. pruned: indicator/variable
+      counts and the reduction ratio pruning buys before the solver ever
+      runs.
+    """
+    import tracemalloc
+
+    from repro.core import chunking
+    from repro.core.formulation import RankHowFormulation
+    from repro.core.prune import prune_problem
+    from repro.core.rankhow import RankHow
+    from repro.data.relation import Relation
+    from repro.scenarios import generate_one, list_families
+
+    records: list[ExperimentRecord] = []
+    rng = np.random.default_rng(seed)
+
+    # -- million-row end-to-end, bounded transients ---------------------------
+    chunking.reset_counters()
+    index = 1 if num_tuples >= 1_000_000 else 0
+    massive_n = (200_000, 1_000_000)[index]
+
+    def _timed(fn):
+        tracemalloc.start()
+        start = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return value, wall, peak
+
+    scenario, build_wall, build_peak = _timed(
+        lambda: generate_one("massive", index, seed)
+    )
+    problem = scenario.problem
+    records.append(
+        ExperimentRecord(
+            experiment="dataplane_massive",
+            dataset="massive",
+            method="build",
+            params={"n": problem.num_tuples, "index": index},
+            time_seconds=build_wall,
+            extra={
+                "peak_bytes": int(build_peak),
+                "backend": scenario.metadata["backend"],
+                "dtype": scenario.metadata["dtype"],
+            },
+        )
+    )
+
+    info, prune_wall, prune_peak = _timed(lambda: prune_problem(problem))
+    records.append(
+        ExperimentRecord(
+            experiment="dataplane_massive",
+            dataset="massive",
+            method="prune",
+            params={"n": problem.num_tuples},
+            time_seconds=prune_wall,
+            extra={
+                "peak_bytes": int(prune_peak),
+                "pruned_tuples": info.num_pruned,
+                "kept_tuples": int(info.kept.shape[0]),
+                "prune_ratio": round(info.ratio, 6),
+            },
+        )
+    )
+
+    hidden = np.asarray(scenario.metadata["hidden_weights"], dtype=float)
+    candidates = np.vstack(
+        [hidden, rng.dirichlet(np.ones(problem.num_attributes), sweep_candidates - 1)]
+    )
+    (errors, hidden_error), sweep_wall, sweep_peak = _timed(
+        lambda: (
+            problem.errors_of_many(candidates),
+            problem.error_of(hidden),
+        ),
+    )
+    records.append(
+        ExperimentRecord(
+            experiment="dataplane_massive",
+            dataset="massive",
+            method="chunked_sweep",
+            params={"n": problem.num_tuples, "candidates": len(candidates)},
+            error=float(errors.min()),
+            time_seconds=sweep_wall,
+            extra={
+                "peak_bytes": int(sweep_peak),
+                "hidden_error": int(hidden_error),
+                "hidden_error_matches": bool(int(errors[0]) == int(hidden_error)),
+                **chunking.counters(),
+            },
+        )
+    )
+
+    # -- pruning parity + chunked parity per family ---------------------------
+    invariant_options = RankHowOptions(
+        node_limit=150, verify=False, warm_start_strategy="uniform"
+    )
+    pruned_options = replace(invariant_options, extra={"prune": True})
+    for family in list_families():
+        fam_problem = generate_one(family, 0, seed).problem
+        start = time.perf_counter()
+        off = RankHow(invariant_options).solve(fam_problem)
+        off_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        on = RankHow(pruned_options).solve(fam_problem)
+        on_wall = time.perf_counter() - start
+        sweep = rng.dirichlet(np.ones(fam_problem.num_attributes), 8)
+        chunk_equal = bool(
+            np.array_equal(
+                fam_problem.errors_of_many(sweep),
+                fam_problem.errors_of_many(sweep, chunk_rows=1),
+            )
+        )
+        records.append(
+            ExperimentRecord(
+                experiment="dataplane_parity",
+                dataset=family,
+                method="rankhow[prune]",
+                params={"n": fam_problem.num_tuples, "k": fam_problem.k},
+                error=float(on.error),
+                time_seconds=on_wall,
+                extra={
+                    "time_unpruned": round(off_wall, 4),
+                    "bitwise_equal": bool(
+                        int(on.error) == int(off.error)
+                        and np.array_equal(
+                            np.asarray(on.weights, dtype=float),
+                            np.asarray(off.weights, dtype=float),
+                            equal_nan=True,
+                        )
+                        and on.nodes == off.nodes
+                    ),
+                    "chunked_equal": chunk_equal,
+                    "prune_ratio": round(
+                        float(on.diagnostics.get("prune_ratio", 0.0)), 6
+                    ),
+                    "pruned_tuples": int(on.diagnostics.get("pruned_tuples", 0)),
+                },
+            )
+        )
+
+    # -- MILP size with and without the presolve ------------------------------
+    quality = rng.uniform(0.0, 1.0, size=(milp_tuples, 1))
+    noise = rng.uniform(0.0, 1.0, size=(milp_tuples, 4))
+    matrix = np.clip(0.85 * quality + 0.15 * noise, 0.0, 1.0)
+    relation = Relation.from_matrix(matrix, [f"A{j + 1}" for j in range(4)])
+    scores = matrix @ np.array([0.4, 0.3, 0.2, 0.1])
+    milp_problem = RankingProblem(relation, ranking_from_scores(scores, k=milp_k))
+    milp_info = prune_problem(milp_problem)
+    for label, target in (("full", milp_problem), ("pruned", milp_info.problem)):
+        start = time.perf_counter()
+        formulation = RankHowFormulation(target, eliminate_dominated=False)
+        wall = time.perf_counter() - start
+        records.append(
+            ExperimentRecord(
+                experiment="dataplane_milp",
+                dataset="correlated",
+                method=f"formulation[{label}]",
+                params={"n": target.num_tuples, "k": milp_k},
+                time_seconds=wall,
+                extra={
+                    "indicators": len(formulation.indicator_vars),
+                    "variables": formulation.model.num_vars,
+                    "naive_pairs": milp_k * (milp_tuples - 1),
+                    "prune_ratio": round(milp_info.ratio, 6),
+                },
+            )
+        )
+    return records

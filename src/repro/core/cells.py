@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import chunking
 from repro.core.problem import RankingProblem
 
 __all__ = [
@@ -211,15 +212,47 @@ class CellBoundEvaluator:
     of the stacked pair matrix against the stacked ``(n_cells, m)`` corner
     matrices plus vectorized comparisons, instead of a Python loop over
     cells and ranked tuples that rebuilds the difference matrix every time.
+
+    For million-row problems the precomputed ``(n_pairs, m)`` pair matrices
+    themselves are the memory blowup, so the evaluator has a **streaming**
+    mode (``streaming=True``, or auto when the precomputation would exceed
+    the data-plane memory budget of :mod:`repro.core.chunking`): nothing is
+    precomputed, and each classification pass re-derives pair blocks of
+    bounded size, accumulating the integer certain-one / free counts per
+    (ranked tuple, cell).  Counts are exact integers and every per-pair
+    classification runs the same elementwise formula, so streaming bounds
+    are bitwise-equal to the precomputed ones (asserted by the
+    ``streaming_parity`` oracle invariant).
     """
 
-    def __init__(self, problem: RankingProblem) -> None:
+    def __init__(
+        self, problem: RankingProblem, streaming: bool | None = None
+    ) -> None:
         self.problem = problem
         matrix = problem.matrix
         ranked = problem.top_k_indices()
         n = problem.num_tuples
+        m = problem.num_attributes
         self._num_ranked = ranked.shape[0]
         self._num_tuples = n
+        self._eps1 = problem.tolerances.eps1
+        self._eps2 = problem.tolerances.eps2
+        self._given = problem.ranking.positions[ranked].astype(int)
+        if streaming is None:
+            # positive + negative pair matrices, plus the two simplex vectors.
+            precompute_bytes = self._num_ranked * n * (
+                2 * m * matrix.itemsize + 2 * 8
+            )
+            streaming = precompute_bytes > chunking.memory_budget_bytes()
+        self.streaming = bool(streaming)
+        if self.streaming:
+            self._ranked = np.asarray(ranked)
+            self._positive = None
+            self._negative = None
+            self._simplex_low = None
+            self._simplex_high = None
+            self._self_index = None
+            return
         # diffs[r_idx, s, :] = matrix[s] - matrix[ranked[r_idx]]
         diffs = matrix[None, :, :] - matrix[ranked][:, None, :]
         pairs = diffs.reshape(self._num_ranked * n, problem.num_attributes)
@@ -230,9 +263,6 @@ class CellBoundEvaluator:
         # Flat index of the (r, r) self-pair per ranked tuple: a tuple never
         # beats itself, mirroring the reference implementation's overrides.
         self._self_index = np.arange(self._num_ranked) * n + np.asarray(ranked)
-        self._eps1 = problem.tolerances.eps1
-        self._eps2 = problem.tolerances.eps2
-        self._given = problem.ranking.positions[ranked].astype(int)
 
     def bounds_many(self, cells: Sequence[Cell]) -> list[tuple[int, int]]:
         """Bounds for many cells in one (chunked) matrix program."""
@@ -243,6 +273,8 @@ class CellBoundEvaluator:
         uppers = np.stack([cell.upper for cell in cells])
         if lowers.shape[1] != self.problem.num_attributes:
             raise ValueError("cell dimension does not match the number of attributes")
+        if self.streaming:
+            return self._bounds_streaming(lowers, uppers)
         # Bound the transient (n_pairs, chunk) matrices to a few MB.
         n_pairs = max(self._positive.shape[0], 1)
         chunk = max(1, int(2_000_000 // n_pairs))
@@ -273,6 +305,8 @@ class CellBoundEvaluator:
         incremental-parity invariant checks.  Returns ``None`` when the edit
         is not one of these shapes (caller rebuilds).
         """
+        if self.streaming:
+            return None  # nothing precomputed to derive from; rebuilds are cheap
         old = self.problem
         if (
             problem.attributes != old.attributes
@@ -377,6 +411,7 @@ class CellBoundEvaluator:
         """An evaluator over precomputed pair matrices (no re-derivation)."""
         clone = object.__new__(CellBoundEvaluator)
         clone.problem = problem
+        clone.streaming = False
         clone._num_ranked = self._num_ranked
         clone._num_tuples = num_tuples
         clone._positive = positive
@@ -411,6 +446,65 @@ class CellBoundEvaluator:
         shape = (self._num_ranked, self._num_tuples, lowers.shape[0])
         min_rank = 1 + certain_one.reshape(shape).sum(axis=1)
         max_rank = min_rank + free.reshape(shape).sum(axis=1)
+        return self._fold_rank_intervals(min_rank, max_rank)
+
+    def _bounds_streaming(
+        self, lowers: np.ndarray, uppers: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Streaming classification: pair blocks re-derived, counts folded.
+
+        Per tuple block, the same diff / clip / matmul / threshold pipeline
+        as the precomputed kernel runs over a ``(k * block, m)`` slice, and
+        only the integer certain-one / free counts per (ranked tuple, cell)
+        survive the block.  Integer accumulation is associative, so the
+        block size never changes the result.
+        """
+        problem = self.problem
+        matrix = problem.matrix
+        ranked = self._ranked
+        k = self._num_ranked
+        n = self._num_tuples
+        m = problem.num_attributes
+        n_cells = lowers.shape[0]
+        ranked_rows = matrix[ranked]
+        # Per tuple row: k pair rows of diffs/positive/negative plus the
+        # simplex vectors and the (pair, cell) classification transients.
+        row_bytes = k * (3 * m * matrix.itemsize + 2 * 8 + 6 * n_cells * 8)
+        rows = chunking.chunk_rows_for(row_bytes, n, None)
+        chunking.record_chunked_eval(rows * row_bytes)
+        ones_count = np.zeros((k, n_cells), dtype=np.int64)
+        free_count = np.zeros((k, n_cells), dtype=np.int64)
+        for start in range(0, n, rows):
+            sub = matrix[start : start + rows]
+            block = sub.shape[0]
+            diffs = sub[None, :, :] - ranked_rows[:, None, :]
+            pairs = diffs.reshape(k * block, m)
+            positive = np.clip(pairs, 0.0, None)
+            negative = np.clip(pairs, None, 0.0)
+            box_low = positive @ lowers.T + negative @ uppers.T
+            box_high = positive @ uppers.T + negative @ lowers.T
+            low = np.maximum(box_low, pairs.min(axis=1)[:, None])
+            high = np.minimum(box_high, pairs.max(axis=1)[:, None])
+            certain_one = low >= self._eps1
+            certain_zero = high <= self._eps2
+            # Self-pairs landing in this block: a tuple never beats itself.
+            in_block = (ranked >= start) & (ranked < start + block)
+            for r_idx in np.where(in_block)[0]:
+                flat = r_idx * block + (int(ranked[r_idx]) - start)
+                certain_one[flat, :] = False
+                certain_zero[flat, :] = True
+            free = ~(certain_one | certain_zero)
+            shape = (k, block, n_cells)
+            ones_count += certain_one.reshape(shape).sum(axis=1)
+            free_count += free.reshape(shape).sum(axis=1)
+        min_rank = 1 + ones_count
+        max_rank = min_rank + free_count
+        return self._fold_rank_intervals(min_rank, max_rank)
+
+    def _fold_rank_intervals(
+        self, min_rank: np.ndarray, max_rank: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Per-cell error bounds from the (ranked, cell) rank intervals."""
         given = self._given[:, None]
 
         below = given < min_rank

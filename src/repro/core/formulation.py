@@ -133,6 +133,10 @@ class RankHowFormulation:
         ranked = problem.top_k_indices()
         n = problem.num_tuples
         m = problem.num_attributes
+        # Rank-dominance pruning (repro.core.prune) pins the error bound to
+        # the *original* tuple count so the pruned model is bitwise-identical
+        # to the full model after the dominance elimination below.
+        error_bound = float(getattr(problem, "_error_bound_override", n))
 
         # Weight variables and the simplex constraint.
         for j in range(m):
@@ -205,7 +209,7 @@ class RankHowFormulation:
             given_position = int(positions[r])
             weight = float(self._error_weights.get(int(r), 1.0))
             error_var = self.model.add_continuous(
-                lower=0.0, upper=float(n), objective=weight, name=f"e[{r}]"
+                lower=0.0, upper=error_bound, objective=weight, name=f"e[{r}]"
             )
             self.error_vars[int(r)] = error_var
             base = 1 + fixed_ones - given_position

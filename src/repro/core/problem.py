@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import chunking
 from repro.core.constraints import ConstraintSet
 from repro.core.metrics import position_error
 from repro.core.ranking import UNRANKED, Ranking
@@ -124,11 +125,14 @@ class RankingProblem:
             raise ValueError("the problem needs at least one ranking attribute")
         self.constraints = constraints if constraints is not None else ConstraintSet()
         self.tolerances = tolerances if tolerances is not None else ToleranceSettings()
-        self._matrix = relation.matrix(self.attributes)
-        # Frozen alongside the relation's columns: fingerprint() memoizes a
-        # content digest of this matrix, so an in-place write must raise
-        # instead of silently invalidating cache entries keyed on the digest.
-        self._matrix.flags.writeable = False
+        # The stacked attribute matrix is materialized lazily (the relation
+        # memoizes it per attribute tuple, read-only); validate the names
+        # eagerly so a bad attribute still fails at construction time.
+        for name in self.attributes:
+            column = relation.column(name)
+            if not np.issubdtype(column.dtype, np.number):
+                raise TypeError(f"attribute {name!r} is not numeric")
+        self._matrix_memo: np.ndarray | None = None
         # SHA-256 content digest, memoized by fingerprint() on first use and
         # never invalidated -- problems are enforced-immutable (every
         # "mutation" returns a new instance; see apply_delta()).
@@ -173,8 +177,33 @@ class RankingProblem:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The ``(n, m)`` ranking-attribute matrix (cached)."""
-        return self._matrix
+        """The ``(n, m)`` ranking-attribute matrix (cached, read-only).
+
+        Frozen alongside the relation's columns: :meth:`fingerprint`
+        memoizes a content digest of this matrix, so an in-place write must
+        raise instead of silently invalidating cache entries keyed on the
+        digest.
+        """
+        memo = self._matrix_memo
+        if memo is None:
+            memo = self.relation.matrix(self.attributes)
+            if memo.flags.writeable:
+                memo.flags.writeable = False
+            self._matrix_memo = memo
+        return memo
+
+    def _eval_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Weights cast to the matrix's evaluation dtype.
+
+        Default float64 relations evaluate exactly as before; opt-in
+        float32 relations score in float32 so the big ``(.., n)`` score
+        transients (and the matmul itself) stay in the narrow dtype
+        instead of silently upcasting a full copy of the matrix.
+        """
+        dtype = self.matrix.dtype
+        if dtype != np.float64:
+            return weights.astype(dtype)
+        return weights
 
     def top_k_indices(self) -> np.ndarray:
         """Indices of the ranked tuples, ordered by given position."""
@@ -197,7 +226,7 @@ class RankingProblem:
         weights = np.asarray(weights, dtype=float).ravel()
         if weights.shape[0] != self.num_attributes:
             raise ValueError("weight vector length does not match attribute count")
-        return self._matrix @ weights
+        return self.matrix @ self._eval_weights(weights)
 
     def induced_positions(self, weights: np.ndarray) -> np.ndarray:
         """Ranks of every tuple under the weight vector (tie tolerance applied)."""
@@ -207,7 +236,9 @@ class RankingProblem:
         """Position-based error of a weight vector (Definition 3)."""
         return position_error(self.ranking, self.induced_positions(weights))
 
-    def errors_of_many(self, weights_matrix: np.ndarray) -> np.ndarray:
+    def errors_of_many(
+        self, weights_matrix: np.ndarray, chunk_rows: int | None = None
+    ) -> np.ndarray:
         """Position-based error of every row of a ``(num_candidates, m)`` matrix.
 
         One matrix program instead of ``num_candidates`` Python-level
@@ -215,6 +246,15 @@ class RankingProblem:
         (:func:`~repro.core.scoring.induced_ranks_many`), and a vectorized
         error reduction.  Used by the matrix SYM-GD multi-seed path and the
         sampling baseline-style sweeps.
+
+        When the ``(num_candidates, n)`` score transients would exceed the
+        data-plane memory budget (:mod:`repro.core.chunking`) -- or when
+        ``chunk_rows`` forces it -- candidates are evaluated in blocked
+        streaming mode: per block, one score matmul, per-row sort, and the
+        ranked-positions-only ``searchsorted`` reduction.  Candidate rows
+        are independent and the per-position rank formula is elementwise,
+        so the streamed errors are bitwise-equal to the single-shot path
+        (asserted by the ``streaming_parity`` oracle invariant).
         """
         weights_matrix = np.asarray(weights_matrix, dtype=float)
         if weights_matrix.ndim != 2 or weights_matrix.shape[1] != self.num_attributes:
@@ -222,12 +262,41 @@ class RankingProblem:
                 f"weights matrix must have shape (num_candidates, "
                 f"{self.num_attributes}), got {weights_matrix.shape}"
             )
-        scores = weights_matrix @ self._matrix.T
-        ranks = induced_ranks_many(scores, self.tolerances.tie_eps)
+        matrix = self.matrix
+        weights_matrix = self._eval_weights(weights_matrix)
         positions = self.ranking.positions
         ranked = np.where(positions != UNRANKED)[0]
         given = positions[ranked]
-        return np.sum(np.abs(ranks[:, ranked] - given[None, :]), axis=1).astype(int)
+        num_candidates = weights_matrix.shape[0]
+        n = self.num_tuples
+        # Per candidate: a score row (matrix dtype), plus the float64
+        # ranking transients (cast, sort, tie-shifted copy) and the int
+        # rank row the single-shot path materializes.
+        row_bytes = n * (matrix.itemsize + 8 * 4)
+        rows = chunking.chunk_rows_for(row_bytes, num_candidates, chunk_rows)
+        if rows >= num_candidates:
+            scores = weights_matrix @ matrix.T
+            ranks = induced_ranks_many(scores, self.tolerances.tie_eps)
+            return np.sum(np.abs(ranks[:, ranked] - given[None, :]), axis=1).astype(
+                int
+            )
+        chunking.record_chunked_eval(rows * row_bytes)
+        tie_eps = self.tolerances.tie_eps
+        errors = np.empty(num_candidates, dtype=int)
+        for start in range(0, num_candidates, rows):
+            # The float64 cast mirrors induced_ranks_many's entry exactly,
+            # so float32 relations rank identically on both paths.
+            block = np.asarray(
+                weights_matrix[start : start + rows] @ matrix.T, dtype=float
+            )
+            sorted_rows = np.sort(block, axis=1)
+            shifted = block + tie_eps
+            for i in range(block.shape[0]):
+                beats = n - np.searchsorted(
+                    sorted_rows[i], shifted[i, ranked], side="right"
+                )
+                errors[start + i] = int(np.sum(np.abs(beats + 1 - given)))
+        return errors
 
     def fingerprint(self) -> str:
         """Memoized SHA-256 content digest of this problem instance.
@@ -290,7 +359,7 @@ class RankingProblem:
             if child is problem:  # defensive: a no-op edit keeps the memo as-is
                 continue
             if delta.preserves_matrix and child.attributes == problem.attributes:
-                child._matrix = problem._matrix
+                child._matrix_memo = problem._matrix_memo
             child._fingerprint = compose_fingerprints(
                 problem.fingerprint(), delta.fingerprint()
             )

@@ -162,6 +162,20 @@ class RankHow:
     ) -> SynthesisResult:
         options = self.options
         start = time.perf_counter()
+        prune_diag: dict = {}
+        if options.extra.get("prune"):
+            # Rank-dominance presolve: provably irrelevant tuples are dropped
+            # before the MILP is built.  Valid inside any cell (a subset of
+            # the simplex); see repro.core.prune for the exactness contract.
+            from repro.core.prune import prune_problem
+
+            prune_info = prune_problem(problem)
+            problem = prune_info.problem
+            prune_diag = {
+                "pruned_tuples": prune_info.num_pruned,
+                "prune_ratio": prune_info.ratio,
+                "prune_original_n": prune_info.original_n,
+            }
         formulation = RankHowFormulation(
             problem,
             eliminate_dominated=options.eliminate_dominated,
@@ -221,6 +235,7 @@ class RankHow:
                     "k": problem.k,
                     "indicators": formulation.num_indicator_variables,
                     "eliminated": formulation.num_eliminated_indicators,
+                    **prune_diag,
                 },
             )
 
@@ -263,6 +278,7 @@ class RankHow:
                 "milp_objective": float(objective),
                 "lp_iterations": int(solution.lp_iterations),
                 "warm_started_nodes": int(solution.warm_started_nodes),
+                **prune_diag,
             },
         )
 

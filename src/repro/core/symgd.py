@@ -256,6 +256,7 @@ class SymGD:
         start = time.perf_counter()
 
         with obs_span("solver.symgd", k=problem.k) as sp:
+            problem, prune_diag = _maybe_prune(problem, options)
             seed = self._seed(problem)
             descent = _Descent(options, problem, seed, _seed_error(problem, seed))
             solver = RankHow(options.solver_options)
@@ -273,6 +274,7 @@ class SymGD:
                 descent.step(solver, time_left())
 
             result = descent.result(time.perf_counter() - start)
+            result.diagnostics.update(prune_diag)
             if sp:
                 sp.set_attributes(
                     error=int(result.error),
@@ -317,6 +319,7 @@ class SymGD:
                 produce identical per-seed results.
         """
         start = time.perf_counter()
+        problem, prune_diag = _maybe_prune(problem, self.options)
         if seeds is None:
             seeds = default_seed_points(
                 problem, num_seeds, base_strategy=self.options.seed_strategy
@@ -344,6 +347,7 @@ class SymGD:
                 "num_seeds": len(seeds),
                 "per_seed_errors": [int(r.error) for r in results],
                 "per_seed_times": [float(r.solve_time) for r in results],
+                **prune_diag,
             },
         )
         merged.method = (
@@ -409,6 +413,30 @@ class SymGD:
             return _normalize_seed_point(options.seed_point, problem.num_attributes)
         strategy = get_seed_strategy(options.seed_strategy)
         return strategy(problem)
+
+
+def _maybe_prune(
+    problem: RankingProblem, options: SymGDOptions
+) -> tuple[RankingProblem, dict]:
+    """Apply rank-dominance pruning once, up front, when the solver options
+    request it (``solver_options.extra["prune"]``).
+
+    Pruning before seeding means the whole descent -- seeds, cell solves,
+    error evaluations -- runs on the reduced problem; the inner RankHow
+    re-prune is a memoized no-op.  Position errors of ranked tuples are
+    invariant under the prune (see :mod:`repro.core.prune`), so the reported
+    error matches the unpruned descent's.
+    """
+    if not options.solver_options.extra.get("prune"):
+        return problem, {}
+    from repro.core.prune import prune_problem
+
+    info = prune_problem(problem)
+    return info.problem, {
+        "pruned_tuples": info.num_pruned,
+        "prune_ratio": info.ratio,
+        "prune_original_n": info.original_n,
+    }
 
 
 def _normalize_seed_point(seed: np.ndarray, num_attributes: int) -> np.ndarray:

@@ -1,14 +1,17 @@
-"""A small in-memory, column-oriented relation.
+"""A columnar, enforced-immutable relation.
 
 RankHow consumes a relation ``R`` with numeric ranking attributes
 ``A1 .. Am`` plus optional non-numeric identifier columns (player names,
-institution names).  :class:`Relation` stores each column as a NumPy array,
+institution names).  :class:`Relation` stores each column as a read-only
+NumPy array behind a :mod:`~repro.data.columnstore` backend -- plain
+in-memory arrays by default, ``np.memmap`` files for million-row data --
 offers projection / selection / row subsetting, and produces the dense
 attribute matrix that the optimization layers work on.
 
-The class is deliberately simple -- it is a substrate, not a DBMS -- but it is
-the single place where column bookkeeping happens, so the rest of the code can
-refer to attributes by name.
+The class is deliberately simple -- it is a substrate, not a DBMS -- but it
+is the single place where column bookkeeping happens, so the rest of the
+code can refer to attributes by name and the data plane can swap storage
+(backend, opt-in ``float32``) without touching any consumer.
 """
 
 from __future__ import annotations
@@ -17,24 +20,17 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.data.columnstore import (
+    ColumnStore,
+    MemmapColumnStore,
+    MemoryColumnStore,
+    frozen_column,
+)
+
 __all__ = ["Relation"]
 
-
-def _frozen_column(values: Sequence | np.ndarray) -> np.ndarray:
-    """A read-only array for ``values``, copying only when necessary.
-
-    Arrays that are already read-only AND own their data (the columns of
-    another :class:`Relation`) are shared as-is -- this is what makes the
-    edit constructors structural-sharing.  Everything else is copied before
-    the write flag is dropped: a writable array obviously, but also a
-    read-only *view*, whose writable base could still mutate the shared
-    memory behind the memoized fingerprint's back.
-    """
-    array = np.asarray(values)
-    if array.flags.writeable or array.base is not None:
-        array = array.copy()
-        array.flags.writeable = False
-    return array
+# Backwards-compatible alias: the pre-columnar module exposed this helper.
+_frozen_column = frozen_column
 
 
 class Relation:
@@ -49,12 +45,20 @@ class Relation:
     (:meth:`with_column`, :meth:`with_rows`, :meth:`without_rows`,
     :meth:`take`, ...), which share unchanged column arrays with the parent
     instead of copying them.
+
+    Storage is pluggable: pass ``store=`` (or use :meth:`with_backend` /
+    :meth:`astype`) to hold numeric columns as read-only ``np.memmap``
+    views or as opt-in ``float32``.  Derived relations retain their
+    ancestors' stores, so memory-mapped files outlive every
+    structural-sharing descendant.
     """
 
     def __init__(
         self,
-        columns: Mapping[str, Sequence | np.ndarray],
+        columns: Mapping[str, Sequence | np.ndarray] | None = None,
         key: str | None = None,
+        *,
+        store: ColumnStore | None = None,
     ) -> None:
         """Create a relation from named columns.
 
@@ -63,26 +67,33 @@ class Relation:
                 must have the same length.  Writable arrays are copied (the
                 relation owns read-only storage); read-only arrays are shared.
             key: Optional name of an identifier column (not used for ranking).
+            store: A prebuilt :class:`ColumnStore` to adopt instead of
+                ``columns`` (exactly one of the two must be given).
         """
-        if not columns:
+        if store is None:
+            if not columns:
+                raise ValueError("a relation needs at least one column")
+            store = MemoryColumnStore(columns)
+        elif columns is not None:
+            raise ValueError("pass either columns or store, not both")
+        elif not store.names():
             raise ValueError("a relation needs at least one column")
-        self._columns: dict[str, np.ndarray] = {}
-        length: int | None = None
-        for name, values in columns.items():
-            array = _frozen_column(values)
-            if array.ndim != 1:
-                raise ValueError(f"column {name!r} must be one-dimensional")
-            if length is None:
-                length = array.shape[0]
-            elif array.shape[0] != length:
-                raise ValueError(
-                    f"column {name!r} has length {array.shape[0]}, expected {length}"
-                )
-            self._columns[name] = array
-        self._length = int(length or 0)
+        self._store = store
+        self._columns: dict[str, np.ndarray] = dict(store.items())
+        self._length = len(store)
         if key is not None and key not in self._columns:
             raise KeyError(f"key column {key!r} not present")
         self._key = key
+        # Stores whose arrays this relation (transitively) shares; keeps
+        # memmap backing files alive for structural-sharing descendants.
+        self._retained: tuple[ColumnStore, ...] = (store,)
+        self._matrix_cache: dict[tuple[str, ...], np.ndarray] = {}
+
+    def _derived(self, columns: Mapping[str, np.ndarray], key: str | None) -> "Relation":
+        """A child relation that retains this relation's backing stores."""
+        child = Relation(columns, key=key)
+        child._retained = child._retained + self._retained
+        return child
 
     # -- constructors ---------------------------------------------------------
 
@@ -118,16 +129,48 @@ class Relation:
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-serializable representation (columns become plain lists)."""
-        return {
+        """JSON-serializable representation (columns become plain lists).
+
+        The envelope is bitwise-stable for default (float64, in-memory)
+        relations; non-default storage adds ``"dtypes"`` / ``"backend"``
+        keys so the wire format records the data-plane configuration.
+        """
+        data: dict = {
             "columns": {name: col.tolist() for name, col in self._columns.items()},
             "key": self._key,
         }
+        dtypes = {
+            name: col.dtype.str
+            for name, col in self._columns.items()
+            if np.issubdtype(col.dtype, np.number) and col.dtype != np.float64
+        }
+        if dtypes:
+            data["dtypes"] = dtypes
+        if self.backend != "memory":
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Relation":
-        """Inverse of :meth:`to_dict`."""
-        return cls(data["columns"], key=data.get("key"))
+        """Inverse of :meth:`to_dict`.
+
+        ``"dtypes"`` entries are reapplied exactly (float32 values
+        round-trip bitwise through their float64 JSON form); a recorded
+        ``"memmap"`` backend is rebuilt as a fresh memory-mapped store.
+        """
+        dtypes = data.get("dtypes") or {}
+        columns = {
+            name: (
+                np.asarray(values).astype(dtypes[name])
+                if name in dtypes
+                else values
+            )
+            for name, values in data["columns"].items()
+        }
+        relation = cls(columns, key=data.get("key"))
+        if data.get("backend") == "memmap":
+            relation = relation.with_backend("memmap")
+        return relation
 
     # -- basic accessors ------------------------------------------------------
 
@@ -143,6 +186,26 @@ class Relation:
     @property
     def num_tuples(self) -> int:
         return self._length
+
+    @property
+    def backend(self) -> str:
+        """``"memmap"`` if any column is memory-map backed, else ``"memory"``."""
+        for col in self._columns.values():
+            node: object = col
+            while isinstance(node, np.ndarray):
+                if isinstance(node, np.memmap):
+                    return "memmap"
+                node = node.base
+        return "memory"
+
+    @property
+    def dtypes(self) -> dict[str, str]:
+        """Numeric column dtypes, as NumPy dtype strings."""
+        return {
+            name: col.dtype.str
+            for name, col in self._columns.items()
+            if np.issubdtype(col.dtype, np.number)
+        }
 
     def __len__(self) -> int:
         return self._length
@@ -167,21 +230,43 @@ class Relation:
     def matrix(self, attributes: Sequence[str] | None = None) -> np.ndarray:
         """Dense ``(n, m)`` float matrix over the requested attributes.
 
+        The stacked matrix is memoized per attribute tuple on this
+        immutable instance and returned read-only, so repeat calls are
+        zero-copy.  When every requested column already shares one
+        floating dtype the stack is a single allocation (no per-column
+        ``astype`` copy); that common dtype is preserved, so float32
+        relations yield float32 matrices.  Mixed or integer columns
+        upcast to float64 exactly as before.
+
         Args:
             attributes: Attribute names to include; defaults to every numeric
                 column in insertion order.
         """
         if attributes is None:
             attributes = self.numeric_attribute_names()
+        cache_key = tuple(attributes)
+        cached = self._matrix_cache.get(cache_key)
+        if cached is not None:
+            return cached
         columns = []
-        for name in attributes:
+        for name in cache_key:
             col = self.column(name)
             if not np.issubdtype(col.dtype, np.number):
                 raise TypeError(f"attribute {name!r} is not numeric")
-            columns.append(col.astype(float))
+            columns.append(col)
         if not columns:
-            return np.zeros((self._length, 0))
-        return np.column_stack(columns)
+            stacked = np.zeros((self._length, 0))
+        elif all(
+            np.issubdtype(col.dtype, np.floating)
+            and col.dtype == columns[0].dtype
+            for col in columns
+        ):
+            stacked = np.column_stack(columns)
+        else:
+            stacked = np.column_stack([col.astype(float) for col in columns])
+        stacked.flags.writeable = False
+        self._matrix_cache[cache_key] = stacked
+        return stacked
 
     def row(self, index: int) -> dict[str, object]:
         """Return one tuple as a dict (useful for display / debugging)."""
@@ -189,12 +274,60 @@ class Relation:
             raise IndexError(f"row index {index} out of range")
         return {name: col[index] for name, col in self._columns.items()}
 
+    # -- storage --------------------------------------------------------------
+
+    def with_backend(self, backend: str, directory: str | None = None) -> "Relation":
+        """This relation's data behind a different column backend.
+
+        ``"memmap"`` spills numeric columns to read-only memory-mapped
+        files (a private temporary directory unless ``directory`` is
+        given); ``"memory"`` materializes everything back into resident
+        arrays.  Values are unchanged bitwise either way.
+        """
+        if backend == self.backend and directory is None:
+            return self
+        if backend == "memmap":
+            store: ColumnStore = MemmapColumnStore(
+                self._columns, directory=directory
+            )
+        elif backend == "memory":
+            store = MemoryColumnStore(
+                {name: np.array(col) for name, col in self._columns.items()}
+            )
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        return Relation(store=store, key=self._key)
+
+    def astype(self, dtype, attributes: Sequence[str] | None = None) -> "Relation":
+        """Cast the given numeric columns to ``dtype`` (e.g. ``np.float32``).
+
+        Unselected and non-numeric columns are shared structurally.  The
+        result keeps the current backend (memmap relations re-map the cast
+        columns).
+        """
+        if attributes is None:
+            attributes = self.numeric_attribute_names()
+        target = np.dtype(dtype)
+        columns = dict(self._columns)
+        for name in attributes:
+            col = self.column(name)
+            if not np.issubdtype(col.dtype, np.number):
+                raise TypeError(f"attribute {name!r} is not numeric")
+            if col.dtype != target:
+                columns[name] = self._owned(col.astype(target))
+        child = self._derived(columns, self._key)
+        if self.backend == "memmap":
+            child = child.with_backend("memmap")
+        return child
+
     # -- derived relations ------------------------------------------------------
 
     def project(self, attributes: Sequence[str]) -> "Relation":
         """Keep only the named columns."""
         key = self._key if self._key in attributes else None
-        return Relation({name: self.column(name) for name in attributes}, key=key)
+        return self._derived(
+            {name: self.column(name) for name in attributes}, key=key
+        )
 
     @staticmethod
     def _owned(array: np.ndarray) -> np.ndarray:
@@ -209,7 +342,7 @@ class Relation:
     def take(self, indices: Sequence[int] | np.ndarray) -> "Relation":
         """Keep only the rows at the given positions (in the given order)."""
         indices = np.asarray(indices, dtype=int)
-        return Relation(
+        return self._derived(
             {name: self._owned(col[indices]) for name, col in self._columns.items()},
             key=self._key,
         )
@@ -225,12 +358,12 @@ class Relation:
         relation (both are read-only), so the edit costs one column, not a
         copy of the relation.
         """
-        array = _frozen_column(values)
+        array = frozen_column(values)
         if array.shape[0] != self._length:
             raise ValueError("new column length does not match relation size")
         columns = dict(self._columns)
         columns[name] = array
-        return Relation(columns, key=self._key)
+        return self._derived(columns, key=self._key)
 
     def with_rows(self, rows: Mapping[str, Sequence | np.ndarray]) -> "Relation":
         """A new relation with rows appended (per-column values).
@@ -250,7 +383,7 @@ class Relation:
         lengths = {array.shape[0] for array in arrays.values()}
         if len(lengths) != 1:
             raise ValueError("all columns must append the same number of rows")
-        return Relation(
+        return self._derived(
             {
                 name: self._owned(np.concatenate([col, arrays[name]]))
                 for name, col in self._columns.items()
@@ -295,7 +428,7 @@ class Relation:
             columns[name] = self._owned(
                 (col - low) / span if span > 0 else np.zeros_like(col)
             )
-        return Relation(columns, key=self._key)
+        return self._derived(columns, key=self._key)
 
     def __repr__(self) -> str:
         return (

@@ -29,6 +29,7 @@ from repro.data.rng import as_generator
 __all__ = [
     "generate_uniform",
     "generate_correlated",
+    "generate_correlated_streaming",
     "generate_anticorrelated",
     "generate_heavy_tail",
     "generate_synthetic",
@@ -68,6 +69,59 @@ def generate_correlated(
     return Relation.from_matrix(
         np.clip(matrix, 0.0, 1.0), _attribute_names(num_attributes)
     )
+
+
+def generate_correlated_streaming(
+    num_tuples: int,
+    num_attributes: int,
+    seed=0,
+    correlation: float = 0.85,
+    dtype=np.float64,
+    chunk_rows: int | None = None,
+    directory=None,
+) -> Relation:
+    """:func:`generate_correlated` at million-row scale, streamed to memmap.
+
+    Produces the *same RNG stream* as :func:`generate_correlated` -- the
+    latent quality column is drawn in full first, then the noise rows in
+    sequential order -- so for ``dtype=float64`` the values are
+    byte-identical to the in-memory generator's; the difference is purely
+    where they live: each row block is written straight into read-only
+    ``np.memmap`` columns, so resident memory is one block (sized by
+    ``chunk_rows`` or the data-plane budget, see :mod:`repro.core.chunking`)
+    plus the ``(n, 1)`` quality column.  Pass ``dtype=np.float32`` to halve
+    the on-disk footprint (values are the float64 draws rounded once, at
+    the end of the pipeline).
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must lie in [0, 1]")
+    # Imported here: repro.core.chunking has no data-layer dependencies, but
+    # keeping the top-level import surface of this module purely data-side
+    # avoids an import cycle if core ever grows a synthetic dependency.
+    from repro.core import chunking
+
+    rng = as_generator(seed)
+    quality = rng.uniform(0.0, 1.0, size=(num_tuples, 1))
+    names = _attribute_names(num_attributes)
+    # Per row: the float64 noise/mix transients plus the cast output block.
+    row_bytes = num_attributes * (8 * 2 + np.dtype(dtype).itemsize)
+    rows = chunking.chunk_rows_for(row_bytes, num_tuples, chunk_rows)
+    if rows < num_tuples:
+        chunking.record_chunked_eval(rows * row_bytes)
+
+    def blocks():
+        for start in range(0, num_tuples, rows):
+            stop = min(start + rows, num_tuples)
+            noise = rng.uniform(0.0, 1.0, size=(stop - start, num_attributes))
+            mixed = correlation * quality[start:stop] + (1.0 - correlation) * noise
+            yield np.clip(mixed, 0.0, 1.0).astype(dtype, copy=False)
+
+    from repro.data.columnstore import MemmapColumnStore
+
+    store = MemmapColumnStore.stream(
+        names, num_tuples, blocks(), dtype=dtype, directory=directory
+    )
+    return Relation(store=store)
 
 
 def generate_anticorrelated(

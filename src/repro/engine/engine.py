@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.api.registry import get_method
 from repro.api.request import SynthesisRequest
+from repro.core import chunking
 from repro.core.problem import RankingProblem
 from repro.core.result import SynthesisResult
 from repro.core.symgd import SymGD, SymGDOptions
@@ -133,6 +134,7 @@ class SolveEngine:
         )
         self.solver_invocations = 0
         self.prewarm_solves = 0
+        self.pruned_tuples_total = 0
         self.incremental_stats = IncrementalStats()
         self.obs = None
         if obs is not None:
@@ -167,6 +169,7 @@ class SolveEngine:
         cache = self.cache.stats
         executor = self.executor.stats
         incremental = self.incremental_stats
+        dataplane = chunking.counters()
         return {
             "repro_engine_solver_invocations_total": (
                 "counter", "Solver invocations", float(self.solver_invocations),
@@ -214,7 +217,35 @@ class SolveEngine:
                 },
                 ("tier",),
             ),
+            "repro_engine_pruned_tuples_total": (
+                "counter",
+                "Tuples removed by the rank-dominance presolve",
+                float(self.pruned_tuples_total),
+            ),
+            "repro_engine_chunked_evals_total": (
+                "counter",
+                "Evaluations that took a bounded-memory chunked path",
+                float(dataplane["chunked_evals_total"]),
+            ),
+            "repro_engine_peak_chunk_bytes": (
+                "gauge",
+                "High-water transient block size of the chunked data plane",
+                float(dataplane["peak_chunk_bytes"]),
+            ),
         }
+
+    def _harvest_dataplane(self, result: SynthesisResult) -> None:
+        """Fold one solve's rank-dominance prune count into the engine total.
+
+        Chunked-evaluation counters need no harvesting -- they accumulate in
+        :mod:`repro.core.chunking` directly -- but prune counts travel in
+        each result's diagnostics (the prune runs inside the solver, possibly
+        in an executor worker), so the engine adds them up here.
+        """
+        pruned = result.diagnostics.get("pruned_tuples", 0)
+        if pruned:
+            with self._artifact_lock:
+                self.pruned_tuples_total += int(pruned)
 
     def _tracer(self):
         obs = self.obs
@@ -233,9 +264,11 @@ class SolveEngine:
         with self._artifact_lock:
             self.solver_invocations = 0
             self.prewarm_solves = 0
+            self.pruned_tuples_total = 0
             self.incremental_stats = IncrementalStats()
         self.executor.stats = ExecutorStats()
         self.cache.stats = CacheStats()
+        chunking.reset_counters()
 
     # -- request solving ------------------------------------------------------
 
@@ -326,6 +359,7 @@ class SolveEngine:
             # dispatch wall as the fallback for solvers too fast to time.
             shared_cost = (time.perf_counter() - start) / len(payloads)
             for key, result in zip(pending.keys(), solved):
+                self._harvest_dataplane(result)
                 self.cache.put(key, result, cost=result.solve_time or shared_cost)
                 cached[key] = result
                 span = dispatch_spans.get(key)
@@ -474,6 +508,7 @@ class SolveEngine:
         result = method.synthesize_resolved(
             request.problem, request.effective, context=context
         )
+        self._harvest_dataplane(result)
         self.cache.put(key, result, cost=time.perf_counter() - start)
         context.capture_weights(result.weights)
         captured = context.captured
@@ -530,6 +565,7 @@ class SolveEngine:
             self.solver_invocations += 1
             self.prewarm_solves += 1
         result = method.synthesize_resolved(request.problem, request.effective)
+        self._harvest_dataplane(result)
         self.cache.put(key, result, cost=time.perf_counter() - start)
         return True
 
@@ -630,6 +666,10 @@ class SolveEngine:
             "executor": self.executor.stats.as_dict(),
             "cache": self.cache.stats.as_dict(),
             "incremental": self.incremental_stats.as_dict(),
+            "dataplane": {
+                "pruned_tuples_total": self.pruned_tuples_total,
+                **chunking.counters(),
+            },
         }
 
     def close(self) -> None:

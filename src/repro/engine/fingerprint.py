@@ -20,6 +20,7 @@ import json
 
 import numpy as np
 
+from repro.core import chunking
 from repro.core.cells import Cell
 from repro.core.problem import RankingProblem
 from repro.core.result import jsonable
@@ -47,6 +48,28 @@ def _array_bytes(array: np.ndarray, dtype) -> bytes:
     return repr(array.shape).encode() + array.tobytes()
 
 
+def _hash_matrix(h, matrix: np.ndarray) -> None:
+    """Feed a matrix into ``h`` as float64 bytes, in bounded-memory blocks.
+
+    Emits the exact byte stream of ``_array_bytes(matrix, np.float64)`` --
+    the full shape prefix, then row-major little-endian float64 bytes -- but
+    normalizes row blocks one at a time, so hashing a memory-mapped or
+    float32 million-row matrix never materializes the full float64 copy.
+    Digests are unchanged for every existing problem.
+    """
+    h.update(repr(matrix.shape).encode())
+    n = matrix.shape[0]
+    row_bytes = max(int(np.prod(matrix.shape[1:], dtype=np.int64)) * 8, 1)
+    rows = chunking.chunk_rows_for(row_bytes, n, None)
+    if rows < n:
+        chunking.record_chunked_eval(rows * row_bytes)
+    for start in range(0, n, rows):
+        block = np.ascontiguousarray(matrix[start : start + rows], dtype=np.float64)
+        if block.dtype.byteorder == ">":  # pragma: no cover - big-endian
+            block = block.astype(block.dtype.newbyteorder("<"))
+        h.update(block.tobytes())
+
+
 def compute_problem_digest(problem: RankingProblem) -> str:
     """Compute the raw SHA-256 digest of a problem (no memoization).
 
@@ -57,7 +80,7 @@ def compute_problem_digest(problem: RankingProblem) -> str:
     """
     h = hashlib.sha256()
     h.update(b"matrix:")
-    h.update(_array_bytes(problem.matrix, np.float64))
+    _hash_matrix(h, problem.matrix)
     h.update(b"positions:")
     h.update(_array_bytes(problem.ranking.positions, np.int64))
     h.update(b"attributes:")

@@ -281,7 +281,7 @@ def main(argv: list[str] | None = None) -> int:
         families = tuple(
             name.strip() for name in args.scenario.split(",") if name.strip()
         )
-        unknown = [f for f in families if f not in set(list_families())]
+        unknown = [f for f in families if f not in set(list_families(include_heavy=True))]
         if not families or unknown:
             parser.error(f"--scenario names unknown families "
                          f"{unknown or '(none given)'}")

@@ -37,39 +37,61 @@ from repro.core.problem import RankingProblem, ToleranceSettings
 from repro.core.ranking import UNRANKED, Ranking
 from repro.data.rankings import ranking_from_scores
 from repro.data.relation import Relation
-from repro.data.synthetic import generate_heavy_tail, generate_uniform
+from repro.data.synthetic import (
+    generate_correlated_streaming,
+    generate_heavy_tail,
+    generate_uniform,
+)
 
 __all__ = ["ScenarioFamily", "FAMILIES", "scenario_family", "list_families"]
 
 
 @dataclass(frozen=True)
 class ScenarioFamily:
-    """One registered family: a name, a one-line description, and a builder."""
+    """One registered family: a name, a one-line description, and a builder.
+
+    ``heavy`` marks families whose instances are deliberately *large*
+    (hundreds of thousands to millions of tuples).  They exist to exercise
+    the streaming data plane and are excluded from the default listing --
+    the differential oracle and the bench sweeps run every listed family on
+    every instance, which would turn a heavy family into a multi-minute
+    tax; ask for them explicitly (``list_families(include_heavy=True)``).
+    """
 
     name: str
     description: str
     build: Callable[[np.random.Generator, int], tuple[RankingProblem, dict]]
+    heavy: bool = False
 
 
 #: Name -> family, in registration order (the canonical family listing).
 FAMILIES: dict[str, ScenarioFamily] = {}
 
 
-def scenario_family(name: str, description: str):
+def scenario_family(name: str, description: str, heavy: bool = False):
     """Decorator registering a builder under ``name`` (duplicates are an error)."""
 
     def decorator(build):
         if name in FAMILIES:
             raise ValueError(f"scenario family {name!r} is already registered")
-        FAMILIES[name] = ScenarioFamily(name, description, build)
+        FAMILIES[name] = ScenarioFamily(name, description, build, heavy)
         return build
 
     return decorator
 
 
-def list_families() -> tuple:
-    """Registered family names, in registration order."""
-    return tuple(FAMILIES)
+def list_families(include_heavy: bool = False) -> tuple:
+    """Registered family names, in registration order.
+
+    Heavy (million-row) families are excluded by default; pass
+    ``include_heavy=True`` to get every registered name (CLIs validating a
+    user-chosen ``--scenario`` should, so heavy families stay reachable).
+    """
+    return tuple(
+        name
+        for name, family in FAMILIES.items()
+        if include_heavy or not family.heavy
+    )
 
 
 # -- shared helpers -----------------------------------------------------------------
@@ -217,8 +239,15 @@ def _heavy_tail(rng: np.random.Generator, index: int):
 
 @scenario_family("large_k", "ranked prefix covering most of the relation")
 def _large_k(rng: np.random.Generator, index: int):
-    n, m = 30, 3
-    k = 18 + 2 * (index % 2)
+    m = 3
+    if index < 2:
+        n = 30
+        k = 18 + 2 * (index % 2)
+    else:
+        # Size sweep (bench/loadgen territory; the oracle sticks to the
+        # small indices): n grows with the index, k stays a large fraction.
+        n = 30 + 15 * (index - 1)
+        k = int(0.6 * n) + (index % 2)
     relation = generate_uniform(n, m, seed=rng)
     hidden = _hidden_weights(rng, m)
     problem, _ = _linear_problem(relation, hidden, k=k)
@@ -227,12 +256,45 @@ def _large_k(rng: np.random.Generator, index: int):
 
 @scenario_family("wide", "many attributes over few tuples (m close to n's order)")
 def _wide(rng: np.random.Generator, index: int):
-    n, k = 24, 3
-    m = 6 + 2 * (index % 2)
+    k = 3
+    if index < 2:
+        n = 24
+        m = 6 + 2 * (index % 2)
+    else:
+        # Size sweep: both dimensions grow so m stays on n's order.
+        n = 24 + 8 * (index - 1)
+        m = 8 + 2 * (index - 2)
     relation = generate_uniform(n, m, seed=rng)
     hidden = _hidden_weights(rng, m)
     problem, _ = _linear_problem(relation, hidden, k=k)
     return problem, {"zero_error_weights": [float(w) for w in hidden]}
+
+
+@scenario_family(
+    "massive",
+    "million-row correlated relation on the streaming/memmap data plane",
+    heavy=True,
+)
+def _massive(rng: np.random.Generator, index: int):
+    # Correlated data makes componentwise dominance common, so the
+    # rank-dominance presolve has real work to do; float32 memmap columns
+    # keep the resident footprint at one streamed block.  Index 0 is the
+    # "small" smoke size; index 1 is the full million rows.
+    n = (200_000, 1_000_000)[index % 2] * (1 + index // 2)
+    m, k = 4, 10
+    relation = generate_correlated_streaming(n, m, seed=rng, dtype=np.float32)
+    hidden = _hidden_weights(rng, m)
+    # Score in the matrix dtype (float32 @ float64 would silently upcast a
+    # full copy of the matrix); the induced ranking only needs the top k.
+    scores = relation.matrix() @ hidden.astype(np.float32)
+    ranking = ranking_from_scores(scores, k=k)
+    problem = RankingProblem(relation, ranking)
+    return problem, {
+        "n": n,
+        "backend": relation.backend,
+        "dtype": "float32",
+        "hidden_weights": [float(w) for w in hidden],
+    }
 
 
 @scenario_family("constrained", "weight bounds, a group cap, and a precedence constraint")

@@ -107,7 +107,7 @@ def generate_one(family: str, index: int = 0, seed: int = 0) -> Scenario:
     except KeyError:
         raise ValueError(
             f"unknown scenario family {family!r}; registered families: "
-            f"{list(list_families())}"
+            f"{list(list_families(include_heavy=True))}"
         ) from None
     rng = derive_rng(int(seed), family, int(index))
     problem, metadata = builder.build(rng, int(index))

@@ -134,6 +134,7 @@ def server_options(args: argparse.Namespace) -> QueryServerOptions:
         cache_policy=args.cache_policy,
         prewarm=args.prewarm,
         hot_set_path=args.hot_set,
+        memory_budget_mb=args.memory_budget_mb,
     )
 
 
@@ -216,6 +217,7 @@ async def run_session_demo(args: argparse.Namespace) -> tuple[QueryServer, list]
         cache_policy=args.cache_policy,
         prewarm=args.prewarm,
         hot_set_path=args.hot_set,
+        memory_budget_mb=args.memory_budget_mb,
     )
     server = QueryServer(options=options, obs=args.obs)
     steps = []
@@ -324,6 +326,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--prewarm", action="store_true",
                         help="speculatively solve predicted next session "
                         "edits at idle priority (session path)")
+    parser.add_argument("--memory-budget-mb", type=float, default=None,
+                        help="data-plane transient-memory budget in MB for "
+                        "chunked evaluation (default: library default)")
     parser.add_argument("--hot-set", default=None, metavar="PATH",
                         help="persist the cache's scored hot set to PATH on "
                         "drain/stop and promote it back on startup "
@@ -365,7 +370,7 @@ def main(argv: list[str] | None = None) -> int:
         families = tuple(
             name.strip() for name in args.scenario.split(",") if name.strip()
         )
-        registered = set(list_families())
+        registered = set(list_families(include_heavy=True))
         unknown = [name for name in families if name not in registered]
         if not families or unknown:
             parser.error(

@@ -102,6 +102,10 @@ class QueryServerOptions:
             ``max(1, int(d * rate))``.  The cap depends only on the deadline
             *value* (never on elapsed time), so the mapped request stays
             deterministic: same deadline, same fingerprint, same answer.
+        memory_budget_mb: Data-plane transient-memory budget applied on
+            :meth:`start` (see :mod:`repro.core.chunking`); ``None`` keeps
+            the process default.  Serialized with the options, so cluster
+            process shards inherit the router's budget.
     """
 
     backend: str = "serial"
@@ -118,6 +122,7 @@ class QueryServerOptions:
     prewarm_candidates: int = 2
     hot_set_path: str | None = None
     deadline_budget_rate: float | None = None
+    memory_budget_mb: float | None = None
 
 
 @dataclass
@@ -428,6 +433,10 @@ class QueryServer:
     async def start(self) -> "QueryServer":
         """Start the batching loop (idempotent); reload the saved hot set."""
         if self._loop_task is None:
+            if self.options.memory_budget_mb is not None:
+                from repro.core import chunking
+
+                chunking.set_memory_budget_mb(self.options.memory_budget_mb)
             self._queue = asyncio.Queue()
             self._closing = False
             self._loop_task = asyncio.get_running_loop().create_task(

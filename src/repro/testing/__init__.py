@@ -26,6 +26,7 @@ from repro.testing.invariants import (
     check_rescaling_invariance,
     check_result_contract,
     check_serialization_roundtrip,
+    check_streaming_parity,
     check_zero_error_witness,
     results_equal,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "check_rescaling_invariance",
     "check_result_contract",
     "check_serialization_roundtrip",
+    "check_streaming_parity",
     "check_zero_error_witness",
     "results_equal",
     "FAST_METHOD_OPTIONS",

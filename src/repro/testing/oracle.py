@@ -33,6 +33,7 @@ from repro.testing.invariants import (
     check_rescaling_invariance,
     check_result_contract,
     check_serialization_roundtrip,
+    check_streaming_parity,
     check_vectorized_cell_bounds,
     check_zero_error_witness,
 )
@@ -169,6 +170,11 @@ class DifferentialOracle:
         # bit-compatible with the loops they replaced, on every family.
         checks.append(check_vectorized_cell_bounds(problem, results))
         checks.append(check_matrix_symgd_parity(problem))
+
+        # Bounded-memory data plane against the single-shot references: the
+        # chunked errors/ranks paths and the streaming cell-bound evaluator
+        # are optimizations for million-row relations, never semantic forks.
+        checks.append(check_streaming_parity(problem, results))
 
         # Incremental synthesis against the cold path: a session solving a
         # chain of mutate()-style edits must return, per edit, exactly what

@@ -1,0 +1,319 @@
+"""Safety tests for rank-dominance tuple pruning (:mod:`repro.core.prune`).
+
+The prune is a presolve, never a semantic fork.  The battery asserts, in
+order of strength:
+
+* **error invariance** -- any weight vector's position error is unchanged
+  by the prune (the criterion's semantic guarantee);
+* **formulation identity** -- under the default dominance elimination the
+  pruned MILP is the full MILP (same variables, bounds, objective, rows),
+  and without elimination it is strictly smaller;
+* **bitwise solve parity** -- RankHow and SYM-GD return bit-identical
+  weights/errors/node counts with pruning on vs. off, across every
+  scenario family, under prune-invariant seeding;
+* **adversarial margins** -- tuples at or inside the float-safety margin
+  of the dominance band are never pruned;
+* **protection and staleness** -- constraint-referenced tuples survive,
+  and edited (delta-built) problems can never be served a stale prune.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    ConstraintSet,
+    PositionRangeConstraint,
+    PrecedenceConstraint,
+)
+from repro.core.delta import AddTuplesDelta, DropTuplesDelta
+from repro.core.formulation import RankHowFormulation
+from repro.core.problem import RankingProblem, ToleranceSettings
+from repro.core.prune import PruneInfo, prune_problem, prune_threshold
+from repro.core.ranking import Ranking
+from repro.core.rankhow import RankHow, RankHowOptions
+from repro.core.symgd import SymGD, SymGDOptions
+from repro.data.relation import Relation
+from repro.scenarios import generate_one, list_families
+
+SEED = 20260730
+
+#: Prune-invariant RankHow budgets: the uniform warm start reads no
+#: unranked tuples, so the pruned and full solves must follow the exact
+#: same branch-and-bound trajectory (see the exactness caveat in
+#: :mod:`repro.core.prune`).
+RANKHOW_INVARIANT = {
+    "node_limit": 150,
+    "verify": False,
+    "warm_start_strategy": "uniform",
+}
+
+
+def _problem(matrix, ranked_count, tolerances=None, constraints=None):
+    """A problem from a raw matrix ranking the first ``ranked_count`` rows."""
+    matrix = np.asarray(matrix, dtype=float)
+    names = [f"A{j + 1}" for j in range(matrix.shape[1])]
+    relation = Relation.from_matrix(matrix, names)
+    ranking = Ranking.from_ordered_indices(
+        list(range(ranked_count)), matrix.shape[0]
+    )
+    return RankingProblem(
+        relation,
+        ranking,
+        constraints=constraints,
+        tolerances=tolerances,
+    )
+
+
+# -- semantic guarantee -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("family", list_families())
+def test_error_invariant_under_any_weights(family):
+    """Pruning never changes any simplex weight vector's position error."""
+    problem = generate_one(family, 0, SEED).problem
+    info = prune_problem(problem)
+    rng = np.random.default_rng(7)
+    m = problem.num_attributes
+    weights = rng.dirichlet(np.ones(m), size=25)
+    corners = np.eye(m)
+    for w in np.vstack([weights, corners, np.full((1, m), 1.0 / m)]):
+        assert problem.error_of(w) == info.problem.error_of(w)
+
+
+# -- formulation identity -----------------------------------------------------------
+
+
+def _correlated_problem(n=300, m=4, k=8, seed=3):
+    rng = np.random.default_rng(seed)
+    quality = rng.uniform(0.0, 1.0, size=(n, 1))
+    noise = rng.uniform(0.0, 1.0, size=(n, m))
+    matrix = np.clip(0.85 * quality + 0.15 * noise, 0.0, 1.0)
+    order = np.argsort(-matrix.sum(axis=1))[:k]
+    names = [f"A{j + 1}" for j in range(m)]
+    relation = Relation.from_matrix(matrix, names)
+    ranking = Ranking.from_ordered_indices(list(order), n)
+    return RankingProblem(relation, ranking)
+
+
+def test_pruned_milp_identical_under_dominance_elimination():
+    """With elimination on, pruning removes no variables -- only scan work."""
+    problem = _correlated_problem()
+    info = prune_problem(problem)
+    assert info.num_pruned > 0, "fixture must actually prune"
+    full = RankHowFormulation(problem, eliminate_dominated=True)
+    pruned = RankHowFormulation(info.problem, eliminate_dominated=True)
+    assert full.model.num_vars == pruned.model.num_vars
+    assert len(full.indicator_vars) == len(pruned.indicator_vars)
+    assert full.model._objective == pruned.model._objective
+    assert full.model._lower == pruned.model._lower
+    assert full.model._upper == pruned.model._upper
+    assert full.model._is_binary == pruned.model._is_binary
+    assert len(full.model._rows) == len(pruned.model._rows)
+    for ours, theirs in zip(full.model._rows, pruned.model._rows):
+        assert ours.sense == theirs.sense and ours.rhs == theirs.rhs
+        assert np.array_equal(ours.coefficients, theirs.coefficients)
+
+
+def test_prune_shrinks_naive_formulation():
+    """Without elimination the pruned MILP is strictly smaller (the win)."""
+    problem = _correlated_problem()
+    info = prune_problem(problem)
+    full = RankHowFormulation(problem, eliminate_dominated=False)
+    pruned = RankHowFormulation(info.problem, eliminate_dominated=False)
+    assert len(pruned.indicator_vars) < len(full.indicator_vars)
+    assert pruned.model.num_vars < full.model.num_vars
+    # The reduction tracks the prune ratio: k ranked tuples each lose their
+    # indicator pair against every pruned tuple.
+    k = problem.k
+    assert len(full.indicator_vars) - len(pruned.indicator_vars) == (
+        k * info.num_pruned
+    )
+
+
+# -- bitwise solve parity -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("family", list_families())
+def test_rankhow_bitwise_parity_all_families(family):
+    """Prune on vs. off: identical weights, error, and search trajectory."""
+    problem = generate_one(family, 0, SEED).problem
+    off = RankHow(RankHowOptions(**RANKHOW_INVARIANT)).solve(problem)
+    on = RankHow(
+        RankHowOptions(**RANKHOW_INVARIANT, extra={"prune": True})
+    ).solve(problem)
+    assert int(on.error) == int(off.error)
+    assert np.array_equal(
+        np.asarray(on.weights, dtype=float),
+        np.asarray(off.weights, dtype=float),
+        equal_nan=True,
+    )
+    assert on.nodes == off.nodes
+    assert "pruned_tuples" in on.diagnostics
+    assert "pruned_tuples" not in off.diagnostics
+
+
+@pytest.mark.parametrize("family", ("tied_scores", "heavy_tail", "large_k"))
+def test_symgd_bitwise_parity(family):
+    """SYM-GD with prune-invariant seeding follows the same descent."""
+    problem = generate_one(family, 0, SEED).problem
+    base = {
+        "cell_size": 0.25,
+        "max_iterations": 5,
+        # Prune-invariant seeding: the default ordinal-regression seed reads
+        # unranked tuples, which only guarantees value (error) parity.
+        "seed_strategy": "uniform",
+    }
+    solver_base = {
+        "node_limit": 60,
+        "verify": False,
+        "warm_start_strategy": "none",
+    }
+    off = SymGD(
+        SymGDOptions(**base, solver_options=RankHowOptions(**solver_base))
+    ).solve(problem)
+    on = SymGD(
+        SymGDOptions(
+            **base,
+            solver_options=RankHowOptions(**solver_base, extra={"prune": True}),
+        )
+    ).solve(problem)
+    assert int(on.error) == int(off.error)
+    assert np.array_equal(
+        np.asarray(on.weights, dtype=float),
+        np.asarray(off.weights, dtype=float),
+        equal_nan=True,
+    )
+    assert on.iterations == off.iterations
+    assert "pruned_tuples" in on.diagnostics
+
+
+# -- criterion edges ----------------------------------------------------------------
+
+
+def test_no_op_when_every_tuple_is_ranked():
+    matrix = np.array([[0.9, 0.8], [0.7, 0.6], [0.2, 0.1]])
+    all_ranked = _problem(matrix, 3)
+    info = prune_problem(all_ranked)
+    assert info.problem is all_ranked and info.num_pruned == 0
+
+
+def test_nothing_prunable_returns_the_same_instance():
+    # The unranked tuple beats the ranked minimum in one attribute.
+    matrix = np.array([[0.9, 0.2], [0.1, 0.95]])
+    problem = _problem(matrix, 1)
+    info = prune_problem(problem)
+    assert info.problem is problem and info.num_pruned == 0
+
+
+def test_near_band_tuples_survive_the_margin():
+    """Tuples at or inside the dominance band's float margin are kept."""
+    tolerances = ToleranceSettings(tie_eps=1e-4, eps1=2e-4, eps2=1e-4)
+    thr = min(tolerances.eps2, tolerances.tie_eps)
+    ranked = [[0.8, 0.7], [0.9, 0.75]]
+    floor = np.array([0.8, 0.7])  # componentwise min over ranked tuples
+    rows = ranked + [
+        list(floor + thr),  # exactly on the band edge: margin must keep it
+        list(floor + thr / 2),  # strictly inside the band: pruned
+        list(floor),  # at the floor (difference 0 < thr_eff): pruned
+        list(floor - 0.1),  # comfortably dominated: pruned
+    ]
+    problem = _problem(rows, 2, tolerances=tolerances)
+    info = prune_problem(problem)
+    assert info.threshold < thr  # margin strictly tightens the band
+    assert sorted(info.pruned.tolist()) == [3, 4, 5]
+    assert 2 in info.kept
+
+    # With the paper-default eps2 = 0 the band is empty: a tuple exactly at
+    # the floor must survive (thr_eff < 0), only strictly-below ones go.
+    default = _problem(
+        ranked + [list(floor), list(floor - 1e-6)], 2
+    )
+    info = prune_problem(default)
+    assert info.pruned.tolist() == [3]
+
+
+def test_constraint_referenced_tuples_are_protected():
+    matrix = np.array(
+        [[0.9, 0.9], [0.8, 0.85], [0.2, 0.2], [0.1, 0.15], [0.05, 0.1]]
+    )
+    constraints = ConstraintSet(
+        [],
+        [PositionRangeConstraint(1, 1, 3)],
+        [PrecedenceConstraint(0, 3)],
+    )
+    problem = _problem(matrix, 2, constraints=constraints)
+    info = prune_problem(problem)
+    # Tuple 3 is dominated but precedence-referenced; 2 and 4 may go.
+    assert info.pruned.tolist() == [2, 4]
+    new_constraints = info.problem.constraints
+    assert new_constraints.position_constraints[0].tuple_index == 1
+    assert new_constraints.precedence_constraints[0].above == 0
+    assert new_constraints.precedence_constraints[0].below == 2  # 3 shifted
+
+
+def test_prune_threshold_uses_the_matrix_dtype():
+    problem = _correlated_problem(n=50, m=3, k=4)
+    thr64 = prune_threshold(problem)
+    thr32 = prune_threshold(
+        RankingProblem(
+            problem.relation.astype(np.float32),
+            Ranking(problem.ranking.positions),
+        )
+    )
+    # float32 spacing is coarser, so the float32 margin is strictly wider.
+    assert thr32 < thr64 <= min(
+        problem.tolerances.eps2, problem.tolerances.tie_eps
+    )
+
+
+# -- memoization and staleness ------------------------------------------------------
+
+
+def test_prune_is_memoized_per_instance():
+    problem = _correlated_problem()
+    first = prune_problem(problem)
+    second = prune_problem(problem)
+    assert first is second
+    # The pruned child carries a no-op memo so nested solvers skip the scan.
+    child_info = prune_problem(first.problem)
+    assert isinstance(child_info, PruneInfo)
+    assert child_info.problem is first.problem
+    assert child_info.num_pruned == 0
+
+
+def test_deltas_never_see_a_stale_prune():
+    """Edited problems are new instances: the memo cannot leak across edits."""
+    problem = _correlated_problem(n=120, m=3, k=5)
+    info = prune_problem(problem)
+    assert info.num_pruned > 0
+
+    # Append an unranked tuple that beats every ranked one: it must survive
+    # the edited problem's prune even though the original was pruned first.
+    columns = {name: (1.0,) for name in problem.relation.attribute_names}
+    edited = AddTuplesDelta(columns=columns).apply(problem)
+    assert getattr(edited, "_prune_memo", None) is None
+    edited_info = prune_problem(edited)
+    new_index = edited.num_tuples - 1
+    assert new_index in edited_info.kept
+    assert new_index not in edited_info.pruned
+
+    # Dropping tuples likewise rebuilds: the new prune is over the new data.
+    dropped = DropTuplesDelta(indices=(int(info.pruned[0]),)).apply(problem)
+    assert getattr(dropped, "_prune_memo", None) is None
+    dropped_info = prune_problem(dropped)
+    assert dropped_info.original_n == problem.num_tuples - 1
+
+
+def test_prune_ratio_and_diagnostics_shape():
+    problem = _correlated_problem()
+    info = prune_problem(problem)
+    assert 0.0 < info.ratio < 1.0
+    assert info.num_pruned + info.kept.shape[0] == info.original_n
+    result = RankHow(
+        RankHowOptions(**RANKHOW_INVARIANT, extra={"prune": True})
+    ).solve(problem)
+    assert result.diagnostics["pruned_tuples"] == info.num_pruned
+    assert result.diagnostics["prune_original_n"] == info.original_n
+    assert result.diagnostics["prune_ratio"] == pytest.approx(info.ratio)

@@ -1,0 +1,68 @@
+"""The streaming correlated generator and the heavy ``massive`` family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import chunking
+from repro.data.synthetic import generate_correlated, generate_correlated_streaming
+from repro.scenarios import generate_one, list_families
+from repro.scenarios.families import FAMILIES
+
+
+@pytest.mark.parametrize("chunk_rows", [None, 1, 7, 1000])
+def test_streaming_generator_is_byte_identical_to_in_memory(chunk_rows):
+    """Same seed, same RNG stream, same bytes -- for any block size."""
+    reference = generate_correlated(123, 4, seed=42)
+    streamed = generate_correlated_streaming(123, 4, seed=42, chunk_rows=chunk_rows)
+    assert streamed.backend == "memmap"
+    assert np.array_equal(reference.matrix(), streamed.matrix())
+
+
+def test_streaming_generator_under_a_tiny_budget():
+    with chunking.memory_budget(0.001):
+        streamed = generate_correlated_streaming(200, 3, seed=9)
+    reference = generate_correlated(200, 3, seed=9)
+    assert np.array_equal(reference.matrix(), streamed.matrix())
+
+
+def test_streaming_generator_float32_rounds_once_at_the_end():
+    reference = generate_correlated(80, 3, seed=4)
+    narrow = generate_correlated_streaming(80, 3, seed=4, dtype=np.float32)
+    assert narrow.matrix().dtype == np.float32
+    assert np.array_equal(
+        reference.matrix().astype(np.float32), narrow.matrix()
+    )
+
+
+def test_heavy_families_are_gated_out_of_the_default_listing():
+    assert "massive" not in list_families()
+    assert "massive" in list_families(include_heavy=True)
+    assert FAMILIES["massive"].heavy
+    # Every non-heavy family stays listed exactly as before.
+    assert set(list_families()) == {
+        name for name, family in FAMILIES.items() if not family.heavy
+    }
+
+
+def test_massive_family_is_reproducible_and_memmap_backed():
+    """The smoke-size massive instance: byte-reproducible, float32 memmap,
+    zero-error hidden weights, and plenty of prunable mass."""
+    from repro.core.prune import prune_problem
+
+    first = generate_one("massive", 0, 20260730)
+    second = generate_one("massive", 0, 20260730)
+    problem = first.problem
+    assert problem.num_tuples == 200_000
+    assert first.metadata["backend"] == "memmap"
+    assert problem.matrix.dtype == np.float32
+    assert np.array_equal(problem.matrix, second.problem.matrix)
+    assert np.array_equal(
+        problem.ranking.positions, second.problem.ranking.positions
+    )
+    hidden = np.asarray(first.metadata["hidden_weights"], dtype=float)
+    assert problem.error_of(hidden) == 0
+    info = prune_problem(problem)
+    assert info.ratio > 0.5  # correlated data: most tuples are dominated
+    assert info.problem.num_tuples < 100_000

@@ -30,6 +30,7 @@ TOP_LEVEL = {
     "executor": dict,
     "cache": dict,
     "incremental": dict,
+    "dataplane": dict,
 }
 EXECUTOR_KEYS = {"tasks", "batches"}
 CACHE_KEYS = {
@@ -42,6 +43,12 @@ CACHE_KEYS = {
     "hit_rate",
 }
 INCREMENTAL_KEYS = {"exact_hits", "parent_hits", "cold_solves"}
+DATAPLANE_KEYS = {
+    "pruned_tuples_total",
+    "chunked_evals_total",
+    "peak_chunk_bytes",
+    "memory_budget_bytes",
+}
 
 
 def build_problem(k: int = 3, seed: int = 1) -> RankingProblem:
@@ -61,6 +68,7 @@ def assert_schema(stats: dict) -> None:
     assert EXECUTOR_KEYS <= set(stats["executor"])
     assert CACHE_KEYS <= set(stats["cache"])
     assert set(stats["incremental"]) == INCREMENTAL_KEYS
+    assert set(stats["dataplane"]) == DATAPLANE_KEYS
 
 
 def test_stats_schema_is_stable():
@@ -123,6 +131,9 @@ def test_reset_stats_zeroes_every_counter():
     assert stats["cache"]["hits"] == 0
     assert stats["cache"]["misses"] == 0
     assert all(value == 0 for value in stats["incremental"].values())
+    assert stats["dataplane"]["pruned_tuples_total"] == 0
+    assert stats["dataplane"]["chunked_evals_total"] == 0
+    assert stats["dataplane"]["peak_chunk_bytes"] == 0
 
     # The engine keeps working (and counting) after a reset -- and the
     # cached results themselves survive: only telemetry was cleared.
